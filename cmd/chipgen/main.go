@@ -1,0 +1,106 @@
+// chipgen generates benchmark gate-level netlists (and optionally a row
+// placement) for the post-OPC timing flow.
+//
+// Usage:
+//
+//	chipgen -design mult -size 4            # structural Verilog to stdout
+//	chipgen -design rca -size 8 -place      # also print placement stats
+//	chipgen -design rand -size 200 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"postopc/internal/netlist"
+	"postopc/internal/pdk"
+	"postopc/internal/place"
+	"postopc/internal/report"
+	"postopc/internal/stdcell"
+)
+
+func main() {
+	design := flag.String("design", "rca", "benchmark: invchain | rca | mult | rand")
+	size := flag.Int("size", 8, "design size (stages, bits, or gate count)")
+	seed := flag.Int64("seed", 1, "seed for -design rand")
+	inputs := flag.Int("inputs", 16, "primary inputs for -design rand")
+	doPlace := flag.Bool("place", false, "run the row placer and print stats instead of Verilog")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	n, err := build(*design, *size, *inputs, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if !*doPlace {
+		if err := netlist.WriteVerilog(w, n); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	lib, err := stdcell.NewLibrary(pdk.N90())
+	if err != nil {
+		fatal(err)
+	}
+	res, err := place.Place(n, lib, place.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	st := n.Summary()
+	tb := report.NewTable("placement of "+n.Name, "metric", "value")
+	tb.AddF(0, "gates", st.Gates)
+	tb.AddF(0, "inputs", st.Inputs)
+	tb.AddF(0, "outputs", st.Outputs)
+	tb.AddF(0, "rows", res.Rows)
+	tb.AddF(0, "fill cells", res.FillCount)
+	tb.Add("die", res.Chip.Die.String())
+	tb.Fprint(w)
+	cells := report.NewTable("cell usage", "cell", "count")
+	for _, name := range sortedCells(st.ByCell) {
+		tb := st.ByCell[name]
+		cells.AddF(0, name, tb)
+	}
+	cells.Fprint(w)
+}
+
+func build(design string, size, inputs int, seed int64) (*netlist.Netlist, error) {
+	switch design {
+	case "invchain":
+		return netlist.InverterChain(size), nil
+	case "rca":
+		return netlist.RippleCarryAdder(size), nil
+	case "mult":
+		return netlist.ArrayMultiplier(size), nil
+	case "rand":
+		return netlist.RandomLogic(size, inputs, seed), nil
+	}
+	return nil, fmt.Errorf("unknown design %q (want invchain|rca|mult|rand)", design)
+}
+
+func sortedCells(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chipgen:", err)
+	os.Exit(1)
+}

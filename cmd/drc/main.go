@@ -1,0 +1,133 @@
+// drc runs the morphological design-rule checker: over the generated N90
+// cell library, over a placed benchmark design, or over a layout file in
+// the plain-text .plf format.
+//
+// Usage:
+//
+//	drc -library                     # check every generated cell
+//	drc -design mult -size 4         # generate, place, check full chip
+//	drc -plf chip.plf                # check a serialized chip
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"postopc/internal/drc"
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/netlist"
+	"postopc/internal/pdk"
+	"postopc/internal/place"
+	"postopc/internal/report"
+	"postopc/internal/stdcell"
+)
+
+func main() {
+	library := flag.Bool("library", false, "check every cell of the generated library")
+	design := flag.String("design", "", "benchmark to generate+place+check: invchain | rca | mult | rand")
+	size := flag.Int("size", 4, "benchmark size")
+	plf := flag.String("plf", "", "check a chip from a .plf layout file")
+	limit := flag.Int("limit", 20, "violations to print")
+	flag.Parse()
+
+	p := pdk.N90()
+	var violations []drc.Violation
+	switch {
+	case *library:
+		lib, err := stdcell.NewLibrary(p)
+		if err != nil {
+			fatal(err)
+		}
+		cells := map[string]*layout.Cell{}
+		for name, info := range lib.Cells {
+			cells[name] = info.Layout
+		}
+		for _, vs := range drc.CheckLibrary(p, cells) {
+			violations = append(violations, vs...)
+		}
+		fmt.Printf("checked %d cells\n", len(cells))
+	case *plf != "":
+		f, err := os.Open(*plf)
+		if err != nil {
+			fatal(err)
+		}
+		parsed, err := layout.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if parsed.Chip == nil {
+			fatal(fmt.Errorf("%s contains no chip", *plf))
+		}
+		violations = checkChip(p, parsed.Chip)
+	case *design != "":
+		n, err := build(*design, *size)
+		if err != nil {
+			fatal(err)
+		}
+		lib, err := stdcell.NewLibrary(p)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := place.Place(n, lib, place.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		violations = checkChip(p, res.Chip)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if len(violations) == 0 {
+		fmt.Println("DRC clean")
+		return
+	}
+	tb := report.NewTable(fmt.Sprintf("%d DRC violations", len(violations)),
+		"rule", "at", "required(nm)", "context")
+	for i, v := range violations {
+		if i >= *limit {
+			tb.Add("...", fmt.Sprintf("(%d more)", len(violations)-*limit))
+			break
+		}
+		tb.AddF(0, v.Rule, v.At.String(), v.RequiredNM, v.Context)
+	}
+	tb.Fprint(os.Stdout)
+	os.Exit(1)
+}
+
+// checkChip tiles the die so window residues stay tractable.
+func checkChip(p *pdk.PDK, ch *layout.Chip) []drc.Violation {
+	const tile = 20000
+	var out []drc.Violation
+	die := ch.Die
+	for y := die.Y0; y < die.Y1; y += tile {
+		for x := die.X0; x < die.X1; x += tile {
+			w := geom.R(x-1000, y-1000, x+tile+1000, y+tile+1000)
+			out = append(out, drc.CheckWindow(p, ch, w)...)
+		}
+	}
+	fmt.Printf("checked %s (%d instances)\n", ch.Name, len(ch.Instances))
+	return out
+}
+
+func build(design string, size int) (*netlist.Netlist, error) {
+	switch design {
+	case "invchain":
+		return netlist.InverterChain(size), nil
+	case "rca":
+		return netlist.RippleCarryAdder(size), nil
+	case "mult":
+		return netlist.ArrayMultiplier(size), nil
+	case "rand":
+		return netlist.RandomLogic(size, 16, 1), nil
+	}
+	return nil, fmt.Errorf("unknown design %q", design)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+// lithosim images a test structure through the process window and reports
+// printed CDs — the quickest way to see the patterning substrate at work.
+//
+// Usage:
+//
+//	lithosim -width 90 -pitch 340 -defocus 120
+//	lithosim -width 90 -pitch 0 -model gauss      # isolated line, fast model
+//	lithosim -sweep-pitch 220:600:40 -csv         # CD-through-pitch series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/litho"
+	"postopc/internal/pdk"
+	"postopc/internal/report"
+)
+
+func main() {
+	width := flag.Int64("width", 90, "drawn line width (nm)")
+	pitch := flag.Int64("pitch", 340, "line pitch (nm, 0 = isolated)")
+	count := flag.Int("count", 7, "lines in the array")
+	defocus := flag.Float64("defocus", 0, "focus excursion (nm)")
+	dose := flag.Float64("dose", 1, "relative dose")
+	model := flag.String("model", "abbe", "imaging model: abbe | gauss")
+	sweep := flag.String("sweep-pitch", "", "pitch sweep lo:hi:step (nm); prints a CD series")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	svg := flag.String("svg", "", "write an SVG of the drawn mask with the printed contour overlay")
+	flag.Parse()
+
+	p := pdk.N90()
+	m, err := buildModel(*model, p)
+	if err != nil {
+		fatal(err)
+	}
+	if *sweep != "" {
+		if err := sweepPitch(m, *width, *count, *sweep, litho.Corner{DefocusNM: *defocus, Dose: *dose}, *csv); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	corner := litho.Corner{DefocusNM: *defocus, Dose: *dose}
+	if *svg != "" {
+		if err := writeSVG(m, *width, *pitch, *count, corner, *svg); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *svg)
+	}
+	cd, ils, err := measure(m, *width, *pitch, *count, corner)
+	if err != nil {
+		fatal(err)
+	}
+	tb := report.NewTable(fmt.Sprintf("printed CD (%s model)", *model),
+		"drawn(nm)", "pitch(nm)", "defocus(nm)", "dose", "printed(nm)", "ILS(1/µm)")
+	tb.AddF(2, float64(*width), float64(*pitch), *defocus, *dose, cd, ils*1000)
+	if *csv {
+		tb.CSV(os.Stdout)
+	} else {
+		tb.Fprint(os.Stdout)
+	}
+}
+
+func buildModel(name string, p *pdk.PDK) (litho.Model, error) {
+	switch name {
+	case "abbe":
+		return litho.NewAbbe(p.Litho)
+	case "gauss":
+		return p.FastModel()
+	}
+	return nil, fmt.Errorf("unknown model %q", name)
+}
+
+func measure(m litho.Model, width, pitch int64, count int, c litho.Corner) (cd, ils float64, err error) {
+	r := m.Recipe()
+	la := litho.LineArray{WidthNM: geom.Coord(width), PitchNM: geom.Coord(pitch),
+		Count: count, LengthNM: geom.Coord(width) * 16}
+	mask := litho.RasterizeRects(la.Rects(), r.PixelNM, r.GuardNM)
+	im, err := m.Aerial(mask, c)
+	if err != nil {
+		return 0, 0, err
+	}
+	centers := la.CenterXs()
+	mid := centers[len(centers)/2]
+	half := float64(pitch) / 2
+	if pitch == 0 {
+		half = float64(width) * 4
+	}
+	th := r.EffectiveThreshold(c)
+	res := im.MeasureCD(litho.AxisX, 0, mid-half, mid+half, mid, th, r.Polarity)
+	if !res.OK {
+		return 0, 0, fmt.Errorf("feature did not print (w=%d p=%d %v)", width, pitch, c)
+	}
+	return res.CD, im.ILS(res.Hi, 0, 1, 0), nil
+}
+
+func sweepPitch(m litho.Model, width int64, count int, spec string, c litho.Corner, csv bool) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("bad sweep spec %q (want lo:hi:step)", spec)
+	}
+	lo, err1 := strconv.ParseInt(parts[0], 10, 64)
+	hi, err2 := strconv.ParseInt(parts[1], 10, 64)
+	step, err3 := strconv.ParseInt(parts[2], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || step <= 0 {
+		return fmt.Errorf("bad sweep spec %q", spec)
+	}
+	tb := report.NewTable("CD through pitch", "pitch(nm)", "printed(nm)", "bias(nm)")
+	for pt := lo; pt <= hi; pt += step {
+		cd, _, err := measure(m, width, pt, count, c)
+		if err != nil {
+			tb.Add(strconv.FormatInt(pt, 10), "fail", "")
+			continue
+		}
+		tb.AddF(2, float64(pt), cd, cd-float64(width))
+	}
+	if csv {
+		tb.CSV(os.Stdout)
+	} else {
+		tb.Fprint(os.Stdout)
+	}
+	return nil
+}
+
+// writeSVG renders the drawn line array with the printed contour overlaid.
+func writeSVG(m litho.Model, width, pitch int64, count int, c litho.Corner, path string) error {
+	r := m.Recipe()
+	la := litho.LineArray{WidthNM: geom.Coord(width), PitchNM: geom.Coord(pitch),
+		Count: count, LengthNM: geom.Coord(width) * 16}
+	rects := la.Rects()
+	mask := litho.RasterizeRects(rects, r.PixelNM, r.GuardNM)
+	im, err := m.Aerial(mask, c)
+	if err != nil {
+		return err
+	}
+	contours := im.Contours(r.EffectiveThreshold(c), r.Polarity)
+	var bb geom.Rect
+	for _, rc := range rects {
+		bb = bb.Union(rc)
+	}
+	s := layout.NewSVG(bb.Expand(200), 900)
+	s.AddRects(layout.LayerPoly, rects)
+	s.AddOverlay(contours, "fill:none;stroke:#111;stroke-width:1.5")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Write(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lithosim:", err)
+	os.Exit(1)
+}

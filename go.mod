@@ -1,0 +1,3 @@
+module postopc
+
+go 1.22

@@ -1,0 +1,153 @@
+// Package cdx performs post-OPC extraction of critical dimensions: given a
+// simulated aerial image of a layout window and the drawn gate sites inside
+// it, it slices each printed gate across its width and measures the printed
+// channel length (CD) of every slice — the paper's central measurement.
+package cdx
+
+import (
+	"fmt"
+	"math"
+
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/litho"
+)
+
+// Slice is one CD measurement across a gate channel.
+type Slice struct {
+	// Y is the slice position (nm, chip coordinates; for horizontal scans
+	// it is the y of the scan line).
+	Y float64
+	// CD is the printed channel length (nm); 0 when the slice failed.
+	CD float64
+	// OK reports whether the slice printed.
+	OK bool
+}
+
+// GateCD is the extracted profile of one gate site.
+type GateCD struct {
+	// Site is the drawn gate.
+	Site layout.GateSite
+	// DrawnL is the drawn channel length (nm).
+	DrawnL float64
+	// Slices holds the per-slice measurements, bottom to top.
+	Slices []Slice
+	// Printed is true when every slice printed.
+	Printed bool
+}
+
+// Options for extraction.
+type Options struct {
+	// Slices is the number of CD scans across the channel width.
+	Slices int
+	// ScanHalfNM is the half-range of each CD scan around the channel
+	// center; it must exceed any plausible printed CD excursion but stay
+	// below the distance to the neighbouring poly line.
+	ScanHalfNM float64
+	// EdgeMarginNM keeps slices away from the channel's width-direction
+	// ends, where diffusion-corner effects are not gate-length territory.
+	EdgeMarginNM float64
+}
+
+// DefaultOptions returns extraction settings matched to the N90 kit.
+func DefaultOptions() Options {
+	return Options{Slices: 9, ScanHalfNM: 150, EdgeMarginNM: 20}
+}
+
+// ExtractGate measures the printed CD profile of a gate site from an aerial
+// image that covers it. The gate channel is assumed vertical (poly runs in
+// y, length in x) in chip coordinates — true for all generated cells in
+// either row orientation.
+func ExtractGate(im *litho.Image, site layout.GateSite, threshold float64, pol litho.Polarity, opt Options) GateCD {
+	if opt.Slices <= 0 {
+		opt.Slices = 9
+	}
+	if opt.ScanHalfNM <= 0 {
+		opt.ScanHalfNM = 150
+	}
+	ch := site.Channel
+	out := GateCD{Site: site, DrawnL: float64(ch.W()), Printed: true}
+	cx := float64(ch.X0+ch.X1) / 2
+	y0 := float64(ch.Y0) + opt.EdgeMarginNM
+	y1 := float64(ch.Y1) - opt.EdgeMarginNM
+	if y1 < y0 {
+		y0, y1 = float64(ch.Y0), float64(ch.Y1)
+	}
+	for i := 0; i < opt.Slices; i++ {
+		var y float64
+		if opt.Slices == 1 {
+			y = (y0 + y1) / 2
+		} else {
+			y = y0 + (y1-y0)*float64(i)/float64(opt.Slices-1)
+		}
+		res := im.MeasureCD(litho.AxisX, y, cx-opt.ScanHalfNM, cx+opt.ScanHalfNM, cx, threshold, pol)
+		sl := Slice{Y: y, CD: res.CD, OK: res.OK}
+		if !res.OK {
+			out.Printed = false
+		}
+		out.Slices = append(out.Slices, sl)
+	}
+	return out
+}
+
+// CDs returns the slice CDs (only the printed ones).
+func (g GateCD) CDs() []float64 {
+	var out []float64
+	for _, s := range g.Slices {
+		if s.OK {
+			out = append(out, s.CD)
+		}
+	}
+	return out
+}
+
+// MeanCD returns the average printed CD (0 if nothing printed).
+func (g GateCD) MeanCD() float64 {
+	cds := g.CDs()
+	if len(cds) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range cds {
+		s += c
+	}
+	return s / float64(len(cds))
+}
+
+// Range returns the min and max printed CD.
+func (g GateCD) Range() (lo, hi float64) {
+	cds := g.CDs()
+	if len(cds) == 0 {
+		return 0, 0
+	}
+	lo, hi = cds[0], cds[0]
+	for _, c := range cds[1:] {
+		lo = math.Min(lo, c)
+		hi = math.Max(hi, c)
+	}
+	return
+}
+
+// Nonuniformity returns max-min CD across the gate (the non-rectangularity
+// the equivalent-length model exists for).
+func (g GateCD) Nonuniformity() float64 {
+	lo, hi := g.Range()
+	return hi - lo
+}
+
+// String summarizes the extraction.
+func (g GateCD) String() string {
+	lo, hi := g.Range()
+	return fmt.Sprintf("%s drawn=%.0fnm printed=%.1fnm [%.1f,%.1f] slices=%d ok=%v",
+		g.Site.Name, g.DrawnL, g.MeanCD(), lo, hi, len(g.Slices), g.Printed)
+}
+
+// WindowOf returns the simulation window for a set of gate sites: the union
+// of their channels expanded by ambit.
+func WindowOf(sites []layout.GateSite, ambit geom.Coord) geom.Rect {
+	var w geom.Rect
+	for _, s := range sites {
+		w = w.Union(s.Channel)
+	}
+	return w.Expand(ambit)
+}

@@ -1,0 +1,139 @@
+package cdx
+
+import (
+	"math"
+	"testing"
+
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/litho"
+)
+
+// syntheticImage builds an image with a dark vertical bar centered at cx.
+// The intensity rises linearly through the bar edge (slope 1/20nm, value
+// 0.5 exactly at ±width/2), so the I=0.3 printed edge sits analytically at
+// ±(width/2 − 4): the printed CD is width − 8, independent of pixel phase.
+// Above y=400 the bar narrows by `taper` nm per side.
+func syntheticImage(cx float64, width, taper float64) *litho.Image {
+	mask := geom.NewRaster(geom.R(0, 0, 600, 800), 5)
+	im := litho.NewImage(mask)
+	for iy := 0; iy < im.Ny; iy++ {
+		for ix := 0; ix < im.Nx; ix++ {
+			x, y := mask.PixelCenter(ix, iy)
+			w := width
+			if y > 400 {
+				w -= 2 * taper
+			}
+			v := 0.5 + (math.Abs(x-cx)-w/2)/20
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			im.Data[iy*im.Nx+ix] = v
+		}
+	}
+	return im
+}
+
+func site(cx geom.Coord, l, w geom.Coord) layout.GateSite {
+	return layout.GateSite{
+		Name: "u1/MN0", Pin: "A", Kind: layout.NMOS,
+		Channel: geom.R(cx-l/2, 100, cx+l/2, 100+w),
+	}
+}
+
+func TestExtractUniformGate(t *testing.T) {
+	im := syntheticImage(300, 94, 0)
+	g := ExtractGate(im, site(300, 90, 300), 0.3, litho.ClearField, DefaultOptions())
+	if !g.Printed {
+		t.Fatal("gate should print")
+	}
+	if len(g.Slices) != 9 {
+		t.Fatalf("slices = %d", len(g.Slices))
+	}
+	if math.Abs(g.MeanCD()-86) > 2 {
+		t.Fatalf("mean CD = %.1f, want ~86", g.MeanCD())
+	}
+	if g.Nonuniformity() > 2 {
+		t.Fatalf("uniform gate nonuniformity = %.1f", g.Nonuniformity())
+	}
+	if g.DrawnL != 90 {
+		t.Fatalf("drawn L = %g", g.DrawnL)
+	}
+	if g.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestExtractTaperedGate(t *testing.T) {
+	// Gate channel spans y in [300, 600]: slices above y=400 see the
+	// narrowed bar.
+	im := syntheticImage(300, 94, 6)
+	s := layout.GateSite{Name: "g", Kind: layout.NMOS, Channel: geom.R(255, 300, 345, 600)}
+	g := ExtractGate(im, s, 0.3, litho.ClearField, Options{Slices: 11, ScanHalfNM: 120})
+	if !g.Printed {
+		t.Fatal("gate should print")
+	}
+	lo, hi := g.Range()
+	if hi-lo < 8 {
+		t.Fatalf("taper not captured: range [%.1f, %.1f]", lo, hi)
+	}
+	if math.Abs(hi-86) > 2 || math.Abs(lo-74) > 2 {
+		t.Fatalf("taper CDs = [%.1f, %.1f], want ~[74, 86]", lo, hi)
+	}
+}
+
+func TestExtractMissingGate(t *testing.T) {
+	// Clear-field image: nothing prints.
+	mask := geom.NewRaster(geom.R(0, 0, 600, 800), 5)
+	im := litho.NewImage(mask)
+	for i := range im.Data {
+		im.Data[i] = 1
+	}
+	g := ExtractGate(im, site(300, 90, 300), 0.3, litho.ClearField, DefaultOptions())
+	if g.Printed {
+		t.Fatal("nothing should print on a clear field")
+	}
+	if got := g.MeanCD(); got != 0 {
+		t.Fatalf("mean CD of missing gate = %g", got)
+	}
+	if lo, hi := g.Range(); lo != 0 || hi != 0 {
+		t.Fatal("range of missing gate")
+	}
+	if cds := g.CDs(); cds != nil {
+		t.Fatalf("CDs = %v", cds)
+	}
+}
+
+func TestExtractSingleSlice(t *testing.T) {
+	im := syntheticImage(300, 100, 0)
+	g := ExtractGate(im, site(300, 90, 300), 0.3, litho.ClearField, Options{Slices: 1, ScanHalfNM: 120})
+	if len(g.Slices) != 1 {
+		t.Fatalf("slices = %d", len(g.Slices))
+	}
+	// Single slice sits at the channel mid-height.
+	if math.Abs(g.Slices[0].Y-250) > 25 {
+		t.Fatalf("slice y = %g, want ~250", g.Slices[0].Y)
+	}
+}
+
+func TestWindowOf(t *testing.T) {
+	sites := []layout.GateSite{
+		{Channel: geom.R(0, 0, 90, 500)},
+		{Channel: geom.R(340, 0, 430, 500)},
+	}
+	w := WindowOf(sites, 100)
+	if w != geom.R(-100, -100, 530, 600) {
+		t.Fatalf("window = %v", w)
+	}
+}
+
+func TestDefaultOptionsApplied(t *testing.T) {
+	im := syntheticImage(300, 94, 0)
+	// Zero-valued options fall back to defaults.
+	g := ExtractGate(im, site(300, 90, 300), 0.3, litho.ClearField, Options{})
+	if len(g.Slices) != 9 {
+		t.Fatalf("default slices = %d", len(g.Slices))
+	}
+}

@@ -1,0 +1,141 @@
+// Package device is the compact transistor model: an alpha-power-law drive
+// current, an exponential subthreshold leakage model with short-channel
+// threshold roll-off, and the equivalent-gate-length extraction that
+// collapses a non-rectangular (post-litho) gate into the two effective
+// lengths the timing and leakage models consume.
+//
+// The slice-and-weight equivalent-length method follows Poppe, Wu,
+// Neureuther & Capodieci, "From poly line to transistor: building BSIM
+// models for non-rectangular transistors" (SPIE 2006), which the DAC 2005
+// timing paper relies on: a different effective L for delay (drive) and for
+// static power (leakage), because Ion is roughly ∝1/L while Ioff is
+// exponential in L through VT roll-off.
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"postopc/internal/layout"
+	"postopc/internal/pdk"
+)
+
+// Model evaluates transistor currents for a kit.
+type Model struct {
+	// P holds the electrical parameters.
+	P pdk.Device
+}
+
+// New builds a device model from the kit parameters.
+func New(p pdk.Device) Model { return Model{P: p} }
+
+// VT returns the threshold voltage (V, absolute value) at drawn/effective
+// channel length lNM.
+func (m Model) VT(kind layout.DeviceKind, lNM float64) float64 {
+	vt0 := m.P.VT0N
+	if kind == layout.PMOS {
+		vt0 = m.P.VT0P
+	}
+	if lNM < 5 {
+		lNM = 5 // avoid pathological exponentials for collapsed gates
+	}
+	return vt0 - m.P.VTRollOffV*math.Exp(-lNM/m.P.VTRollOffLNM)
+}
+
+// IonPerUm returns the saturation drive current in µA per µm of device
+// width at the given channel length, using the alpha-power law
+// Ion ∝ (VDD − VT(L))^α / L.
+func (m Model) IonPerUm(kind layout.DeviceKind, lNM float64) float64 {
+	k := m.P.KPrimeN
+	if kind == layout.PMOS {
+		k = m.P.KPrimeP
+	}
+	if lNM < 5 {
+		lNM = 5
+	}
+	vgt := m.P.VDD - m.VT(kind, lNM)
+	if vgt <= 0 {
+		return 0
+	}
+	// Normalize so that K' is the drive at the nominal 90nm length:
+	// Ion = K' · (90/L) · (vgt/vgt90)^alpha.
+	vgt90 := m.P.VDD - m.VT(kind, 90)
+	return k * (90 / lNM) * math.Pow(vgt/vgt90, m.P.Alpha)
+}
+
+// IoffPerUm returns the subthreshold leakage in nA per µm of width at the
+// given channel length: Ioff = I0 · 10^(−VT(L)·1000/S).
+func (m Model) IoffPerUm(kind layout.DeviceKind, lNM float64) float64 {
+	vt := m.VT(kind, lNM)
+	// Normalize the prefactor so that leakage at nominal L equals
+	// I0LeakNAUM (the datasheet-style number).
+	vtNom := m.VT(kind, 90)
+	return m.P.I0LeakNAUM * math.Pow(10, (vtNom-vt)*1000/m.P.SubthresholdSwingMV)
+}
+
+// SliceCurrents integrates a CD profile: cds[i] is the printed channel
+// length of slice i (nm), each slice carrying an equal share of the device
+// width. It returns the average Ion and Ioff per µm of width.
+func (m Model) SliceCurrents(kind layout.DeviceKind, cds []float64) (ionPerUm, ioffPerUm float64) {
+	if len(cds) == 0 {
+		return 0, 0
+	}
+	for _, l := range cds {
+		ionPerUm += m.IonPerUm(kind, l)
+		ioffPerUm += m.IoffPerUm(kind, l)
+	}
+	n := float64(len(cds))
+	return ionPerUm / n, ioffPerUm / n
+}
+
+// EquivalentLengths collapses a non-rectangular gate CD profile into the
+// two effective lengths: delayEL reproduces the profile's total drive
+// current, leakEL its total leakage. Both are found by inverting the
+// monotone current-vs-length maps by bisection.
+func (m Model) EquivalentLengths(kind layout.DeviceKind, cds []float64) (delayEL, leakEL float64, err error) {
+	if len(cds) == 0 {
+		return 0, 0, fmt.Errorf("device: empty CD profile")
+	}
+	lo, hi := cds[0], cds[0]
+	for _, l := range cds {
+		if l <= 0 {
+			return 0, 0, fmt.Errorf("device: non-printing slice in CD profile (CD=%g)", l)
+		}
+		lo = math.Min(lo, l)
+		hi = math.Max(hi, l)
+	}
+	ionT, ioffT := m.SliceCurrents(kind, cds)
+	delayEL = m.invert(lo, hi, ionT, func(l float64) float64 { return m.IonPerUm(kind, l) })
+	leakEL = m.invert(lo, hi, ioffT, func(l float64) float64 { return m.IoffPerUm(kind, l) })
+	return delayEL, leakEL, nil
+}
+
+// invert finds l in [lo, hi] with f(l) == target for monotone-decreasing f.
+func (m Model) invert(lo, hi, target float64, f func(float64) float64) float64 {
+	if hi-lo < 1e-9 {
+		return lo
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > target {
+			lo = mid // current too high -> length too short -> move right
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// GateDrive returns the drive current (µA) of a gate site at the given
+// effective length, folding in the drawn device width.
+func (m Model) GateDrive(site layout.GateSite, lNM float64) float64 {
+	wUm := float64(site.W()) / 1000
+	return wUm * m.IonPerUm(site.Kind, lNM)
+}
+
+// GateLeak returns the leakage (nA) of a gate site at the given effective
+// length.
+func (m Model) GateLeak(site layout.GateSite, lNM float64) float64 {
+	wUm := float64(site.W()) / 1000
+	return wUm * m.IoffPerUm(site.Kind, lNM)
+}

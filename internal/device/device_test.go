@@ -1,0 +1,177 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/pdk"
+)
+
+func model() Model { return New(pdk.N90().Device) }
+
+func TestVTRollOff(t *testing.T) {
+	m := model()
+	// VT decreases as L shrinks (short-channel roll-off).
+	if !(m.VT(layout.NMOS, 70) < m.VT(layout.NMOS, 90)) {
+		t.Fatal("VT must drop for shorter channels")
+	}
+	if !(m.VT(layout.NMOS, 130) > m.VT(layout.NMOS, 90)) {
+		t.Fatal("VT must recover for longer channels")
+	}
+	// Sensitivity near nominal is ~1-3 mV/nm.
+	dv := m.VT(layout.NMOS, 91) - m.VT(layout.NMOS, 90)
+	if dv < 0.0005 || dv > 0.005 {
+		t.Fatalf("dVT/dL = %.4f V/nm out of plausible band", dv)
+	}
+	// PMOS uses its own VT0.
+	if m.VT(layout.PMOS, 90) == m.VT(layout.NMOS, 90) {
+		t.Fatal("PMOS and NMOS VT should differ")
+	}
+	// Degenerate lengths clamp instead of exploding.
+	if v := m.VT(layout.NMOS, 0); math.IsNaN(v) || v < -2 {
+		t.Fatalf("VT(0) = %g", v)
+	}
+}
+
+func TestIonMonotoneDecreasingInL(t *testing.T) {
+	m := model()
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		l := 60 + rnd.Float64()*80 // 60..140nm
+		d := 1 + rnd.Float64()*10
+		return m.IonPerUm(layout.NMOS, l) > m.IonPerUm(layout.NMOS, l+d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIonNominalAnchor(t *testing.T) {
+	m := model()
+	p := pdk.N90().Device
+	if got := m.IonPerUm(layout.NMOS, 90); math.Abs(got-p.KPrimeN) > 1e-9 {
+		t.Fatalf("Ion(90) = %g, want K' = %g", got, p.KPrimeN)
+	}
+	if got := m.IoffPerUm(layout.NMOS, 90); math.Abs(got-p.I0LeakNAUM) > 1e-9 {
+		t.Fatalf("Ioff(90) = %g, want I0 = %g", got, p.I0LeakNAUM)
+	}
+	// NMOS out-drives PMOS per µm.
+	if m.IonPerUm(layout.NMOS, 90) <= m.IonPerUm(layout.PMOS, 90) {
+		t.Fatal("NMOS should out-drive PMOS per micron")
+	}
+}
+
+func TestIoffExponentialSensitivity(t *testing.T) {
+	m := model()
+	// Leakage at L-10nm should be several times nominal; at L+10nm a
+	// fraction. The asymmetry is the whole point of a separate leakage EL.
+	nom := m.IoffPerUm(layout.NMOS, 90)
+	short := m.IoffPerUm(layout.NMOS, 80)
+	long := m.IoffPerUm(layout.NMOS, 100)
+	if short/nom < 1.3 {
+		t.Fatalf("leakage at 80nm only %.2fx nominal", short/nom)
+	}
+	if long/nom > 0.8 {
+		t.Fatalf("leakage at 100nm still %.2fx nominal", long/nom)
+	}
+	// Relative leakage swing must exceed relative drive swing.
+	ionShort := m.IonPerUm(layout.NMOS, 80) / m.IonPerUm(layout.NMOS, 90)
+	if short/nom <= ionShort {
+		t.Fatal("leakage must be more L-sensitive than drive")
+	}
+}
+
+func TestEquivalentLengthsUniformProfile(t *testing.T) {
+	m := model()
+	cds := []float64{92, 92, 92, 92, 92}
+	d, l, err := m.EquivalentLengths(layout.NMOS, cds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-92) > 0.01 || math.Abs(l-92) > 0.01 {
+		t.Fatalf("uniform profile ELs = %.3f / %.3f, want 92", d, l)
+	}
+}
+
+func TestEquivalentLengthsBounds(t *testing.T) {
+	m := model()
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 3 + rnd.Intn(8)
+		cds := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range cds {
+			cds[i] = 70 + rnd.Float64()*40
+			lo = math.Min(lo, cds[i])
+			hi = math.Max(hi, cds[i])
+		}
+		d, l, err := m.EquivalentLengths(layout.NMOS, cds)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-6
+		return d >= lo-eps && d <= hi+eps && l >= lo-eps && l <= hi+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeakageELShorterThanDelayEL(t *testing.T) {
+	m := model()
+	// A non-uniform gate: leakage is dominated by the narrow slices, so
+	// the leakage EL must sit closer to the minimum CD than the delay EL.
+	cds := []float64{80, 85, 90, 95, 100}
+	d, l, err := m.EquivalentLengths(layout.NMOS, cds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(l < d) {
+		t.Fatalf("leakage EL %.2f should be below delay EL %.2f", l, d)
+	}
+	if l < 80 || d > 100 {
+		t.Fatalf("ELs out of profile range: %.2f %.2f", l, d)
+	}
+}
+
+func TestEquivalentLengthsErrors(t *testing.T) {
+	m := model()
+	if _, _, err := m.EquivalentLengths(layout.NMOS, nil); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	if _, _, err := m.EquivalentLengths(layout.NMOS, []float64{90, 0}); err == nil {
+		t.Fatal("non-printing slice accepted")
+	}
+}
+
+func TestGateDriveAndLeak(t *testing.T) {
+	m := model()
+	site := layout.GateSite{
+		Name: "MN0", Pin: "A", Kind: layout.NMOS,
+		Channel: geom.R(0, 0, 90, 1000), // W = 1µm
+	}
+	if got := m.GateDrive(site, 90); math.Abs(got-m.IonPerUm(layout.NMOS, 90)) > 1e-9 {
+		t.Fatalf("1µm gate drive = %g", got)
+	}
+	if got := m.GateLeak(site, 90); math.Abs(got-m.IoffPerUm(layout.NMOS, 90)) > 1e-9 {
+		t.Fatalf("1µm gate leak = %g", got)
+	}
+}
+
+func TestSliceCurrents(t *testing.T) {
+	m := model()
+	ion, ioff := m.SliceCurrents(layout.NMOS, []float64{90, 90})
+	if math.Abs(ion-m.IonPerUm(layout.NMOS, 90)) > 1e-9 {
+		t.Fatalf("slice ion = %g", ion)
+	}
+	if math.Abs(ioff-m.IoffPerUm(layout.NMOS, 90)) > 1e-9 {
+		t.Fatalf("slice ioff = %g", ioff)
+	}
+	if a, b := m.SliceCurrents(layout.NMOS, nil); a != 0 || b != 0 {
+		t.Fatal("empty profile currents")
+	}
+}

@@ -1,0 +1,160 @@
+package drc
+
+import (
+	"strings"
+	"testing"
+
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/pdk"
+	"postopc/internal/stdcell"
+)
+
+func kit(t *testing.T) *pdk.PDK {
+	t.Helper()
+	return pdk.N90()
+}
+
+func TestGeneratedLibraryIsClean(t *testing.T) {
+	p := kit(t)
+	lib, err := stdcell.NewLibrary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := map[string]*layout.Cell{}
+	for name, info := range lib.Cells {
+		cells[name] = info.Layout
+	}
+	dirty := CheckLibrary(p, cells)
+	for name, vs := range dirty {
+		for _, v := range vs {
+			t.Errorf("%s: %s", name, v)
+		}
+	}
+}
+
+func violCell(p *pdk.PDK) *layout.Cell {
+	c := &layout.Cell{Name: "BAD"}
+	c.Box = geom.R(0, 0, 2000, 2600)
+	// Poly sliver: 40nm wide (needs 90).
+	c.AddRect(layout.LayerPoly, geom.R(100, 100, 140, 1000))
+	// Poly space: two fat lines 80 apart (needs 160).
+	c.AddRect(layout.LayerPoly, geom.R(400, 100, 520, 1000))
+	c.AddRect(layout.LayerPoly, geom.R(600, 100, 720, 1000))
+	// Contact floating in space (no landing layer).
+	c.AddRect(layout.LayerContact, geom.R(1500, 1500, 1620, 1620))
+	return c
+}
+
+func TestCheckCellFindsPlantedViolations(t *testing.T) {
+	p := kit(t)
+	vs := CheckCell(p, violCell(p))
+	byRule := map[string]int{}
+	for _, v := range vs {
+		byRule[v.Rule]++
+		if v.String() == "" {
+			t.Fatal("empty violation string")
+		}
+	}
+	for _, want := range []string{"poly.width", "poly.space", "contact.landing"} {
+		if byRule[want] == 0 {
+			t.Errorf("missing %s violation (got %v)", want, byRule)
+		}
+	}
+	// Deterministic ordering.
+	vs2 := CheckCell(p, violCell(p))
+	if len(vs) != len(vs2) {
+		t.Fatal("nondeterministic violation count")
+	}
+	for i := range vs {
+		if vs[i] != vs2[i] {
+			t.Fatal("nondeterministic violation order")
+		}
+	}
+}
+
+func TestCheckCellEndcap(t *testing.T) {
+	p := kit(t)
+	c := &layout.Cell{Name: "SHORTCAP"}
+	c.Box = geom.R(0, 0, 1000, 2000)
+	// Diffusion and a gate strip whose top endcap is only 40nm (needs 110).
+	c.AddRect(layout.LayerDiffusion, geom.R(100, 500, 900, 1000))
+	c.AddRect(layout.LayerPoly, geom.R(450, 300, 540, 1040))
+	c.Gates = append(c.Gates, layout.GateSite{
+		Name: "MN0", Pin: "A", Kind: layout.NMOS,
+		Channel: geom.R(450, 500, 540, 1000),
+	})
+	vs := CheckCell(p, c)
+	found := false
+	for _, v := range vs {
+		if v.Rule == "poly.endcap" && strings.Contains(v.Context, "MN0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("short endcap not flagged: %v", vs)
+	}
+}
+
+func TestCheckWindowAbutment(t *testing.T) {
+	p := kit(t)
+	// Two cells whose abutment creates a poly space violation: each has a
+	// poly line 30nm from its edge; abutted, the lines sit 60nm apart.
+	mk := func(name string, x0 geom.Coord) *layout.Cell {
+		c := &layout.Cell{Name: name}
+		c.Box = geom.R(0, 0, 1000, 2600)
+		c.AddRect(layout.LayerPoly, geom.R(x0, 200, x0+120, 2400))
+		c.Box = geom.R(0, 0, 1000, 2600)
+		return c
+	}
+	left := mk("L", 850) // 30 from right edge
+	right := mk("R", 30) // 30 from left edge
+	ch := &layout.Chip{Name: "abut"}
+	ch.AddInstance("l", left, geom.Pt(0, 0), layout.R0)
+	ch.AddInstance("r", right, geom.Pt(1000, 0), layout.R0)
+	ch.BuildIndex()
+	// Per-cell: both clean.
+	if vs := CheckCell(p, left); len(vs) != 0 {
+		t.Fatalf("left cell should be clean: %v", vs)
+	}
+	// Window check over the seam: a poly.space violation.
+	vs := CheckWindow(p, ch, geom.R(0, 0, 2000, 2600))
+	found := false
+	for _, v := range vs {
+		if v.Rule == "poly.space" && v.At.X0 >= 900 && v.At.X1 <= 1100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("abutment violation missed: %v", vs)
+	}
+}
+
+func TestPlacedChipWindowsClean(t *testing.T) {
+	// The generated library placed by the row placer must be DRC clean
+	// across cell boundaries too.
+	p := kit(t)
+	lib, err := stdcell.NewLibrary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lib
+	// Reuse the placer through the stdcell-only path to avoid an import
+	// cycle in tests: build a tiny row manually from library cells.
+	ch := &layout.Chip{Name: "row"}
+	x := geom.Coord(0)
+	for i, name := range []string{"INV_X1", "NAND2_X1", "NOR2_X1", "NAND3_X1", "FILL_X1", "XOR2_X1"} {
+		c := lib.Cells[name].Layout
+		or := layout.R0
+		if i%2 == 1 {
+			or = layout.R0 // same row: no flip
+		}
+		ch.AddInstance(name, c, geom.Pt(x, 0), or)
+		x += c.Box.W()
+	}
+	ch.BuildIndex()
+	vs := CheckWindow(p, ch, ch.Die)
+	for _, v := range vs {
+		t.Errorf("abutted row violation: %s", v)
+	}
+}

@@ -1,0 +1,155 @@
+// Package dsp implements the signal-processing primitives needed by the
+// lithography simulator: an in-place radix-2 complex FFT (1-D and 2-D) and a
+// small complex grid type. Everything is stdlib-only.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT performs an in-place forward radix-2 FFT on x. len(x) must be a power
+// of two.
+func FFT(x []complex128) error { return fft(x, false) }
+
+// IFFT performs an in-place inverse FFT on x (including the 1/N scaling).
+// len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	if err := fft(x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func fft(x []complex128, inverse bool) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Cooley–Tukey butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		angle := 2 * math.Pi / float64(size)
+		if !inverse {
+			angle = -angle
+		}
+		wstep := cmplx.Exp(complex(0, angle))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+	return nil
+}
+
+// Grid is a dense Nx × Ny complex field stored row-major, the working
+// representation for mask spectra and aerial fields.
+type Grid struct {
+	Nx, Ny int
+	Data   []complex128
+}
+
+// NewGrid allocates a zeroed Nx × Ny grid.
+func NewGrid(nx, ny int) *Grid {
+	return &Grid{Nx: nx, Ny: ny, Data: make([]complex128, nx*ny)}
+}
+
+// At returns element (ix, iy).
+func (g *Grid) At(ix, iy int) complex128 { return g.Data[iy*g.Nx+ix] }
+
+// Set assigns element (ix, iy).
+func (g *Grid) Set(ix, iy int, v complex128) { g.Data[iy*g.Nx+ix] = v }
+
+// Clone returns a deep copy of g.
+func (g *Grid) Clone() *Grid {
+	out := NewGrid(g.Nx, g.Ny)
+	copy(out.Data, g.Data)
+	return out
+}
+
+// FFT2D performs an in-place forward 2-D FFT over the grid. Both dimensions
+// must be powers of two.
+func (g *Grid) FFT2D() error { return g.fft2d(false) }
+
+// IFFT2D performs an in-place inverse 2-D FFT over the grid (scaled).
+func (g *Grid) IFFT2D() error { return g.fft2d(true) }
+
+func (g *Grid) fft2d(inverse bool) error {
+	if !IsPow2(g.Nx) || !IsPow2(g.Ny) {
+		return fmt.Errorf("dsp: grid %dx%d not power-of-two", g.Nx, g.Ny)
+	}
+	do := FFT
+	if inverse {
+		do = IFFT
+	}
+	// Rows.
+	for iy := 0; iy < g.Ny; iy++ {
+		if err := do(g.Data[iy*g.Nx : (iy+1)*g.Nx]); err != nil {
+			return err
+		}
+	}
+	// Columns (gathered into a scratch buffer).
+	col := make([]complex128, g.Ny)
+	for ix := 0; ix < g.Nx; ix++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			col[iy] = g.Data[iy*g.Nx+ix]
+		}
+		if err := do(col); err != nil {
+			return err
+		}
+		for iy := 0; iy < g.Ny; iy++ {
+			g.Data[iy*g.Nx+ix] = col[iy]
+		}
+	}
+	return nil
+}
+
+// FreqIndex maps grid index i (0..n-1) to the signed frequency bin
+// (-n/2 .. n/2-1) using standard FFT ordering.
+func FreqIndex(i, n int) int {
+	if i <= n/2-1 {
+		return i
+	}
+	return i - n
+}
+
+// Energy returns the sum of |v|² over the grid.
+func (g *Grid) Energy() float64 {
+	var s float64
+	for _, v := range g.Data {
+		re, im := real(v), imag(v)
+		s += re*re + im*im
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+package flow
+
+import (
+	"fmt"
+
+	"postopc/internal/cdx"
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/litho"
+	"postopc/internal/sta"
+	"postopc/internal/timinglib"
+)
+
+// Multi-layer extraction — the companion paper's proposed extension: the
+// contact (dark-field) layer is imaged too, printed contact areas are
+// extracted per instance, and the resulting contact resistances are folded
+// into the back-annotated timing model alongside the poly-layer effective
+// lengths.
+
+// ContactCD is one printed contact measurement.
+type ContactCD struct {
+	// Center of the drawn contact (chip nm).
+	Center geom.Point
+	// DrawnNM is the drawn contact size.
+	DrawnNM float64
+	// WNM, HNM are the printed x/y dimensions (0 when unprinted).
+	WNM, HNM float64
+	// AreaRatio is printed/drawn area (0 when unprinted).
+	AreaRatio float64
+	// Printed reports whether the contact opened at all.
+	Printed bool
+}
+
+// ContactExtraction is the contact-layer view of one instance.
+type ContactExtraction struct {
+	// Gate is the instance name.
+	Gate string
+	// Contacts are the instance's measured cuts.
+	Contacts []ContactCD
+	// MeanAreaRatio averages the printed contacts' area ratios.
+	MeanAreaRatio float64
+	// Failed counts unopened contacts.
+	Failed int
+}
+
+// contactModel lazily builds the dark-field Abbe model (contacts are
+// always verified with the physical model; the fitted Gaussian is a
+// clear-field poly model).
+func (f *Flow) contactModel() (litho.Model, error) {
+	if f.contactSim == nil {
+		m, err := litho.NewAbbe(f.PDK.ContactLitho())
+		if err != nil {
+			return nil, err
+		}
+		f.contactSim = m
+	}
+	return f.contactSim, nil
+}
+
+// ExtractContacts images the contact layer around one instance and
+// measures every printed cut at the given corner.
+func (f *Flow) ExtractContacts(chip *layout.Chip, inst *layout.Instance, corner litho.Corner) (*ContactExtraction, error) {
+	m, err := f.contactModel()
+	if err != nil {
+		return nil, err
+	}
+	recipe := m.Recipe()
+	cuts := inst.TransformRectAll(inst.Cell.ShapesOn(layout.LayerContact))
+	if len(cuts) == 0 {
+		return nil, fmt.Errorf("flow: instance %s has no contacts", inst.Name)
+	}
+	window := cdx.WindowOf(sitesOf(cuts), recipe.GuardNM+f.PDK.Rules.PolyPitchNM)
+	var polys []geom.Polygon
+	for _, r := range chip.WindowShapes(layout.LayerContact, window) {
+		polys = append(polys, r.Polygon())
+	}
+	raster := litho.RasterizeInWindow(polys, window, recipe.PixelNM)
+	im, err := m.Aerial(raster, corner)
+	if err != nil {
+		return nil, err
+	}
+	th := recipe.EffectiveThreshold(corner)
+	out := &ContactExtraction{Gate: inst.Name}
+	var ratioSum float64
+	printed := 0
+	for _, cut := range cuts {
+		c := ContactCD{Center: cut.Center(), DrawnNM: float64(cut.W())}
+		cx, cy := float64(c.Center.X), float64(c.Center.Y)
+		half := float64(f.PDK.Rules.ContactNM) * 1.6
+		rx := im.MeasureCD(litho.AxisX, cy, cx-half, cx+half, cx, th, recipe.Polarity)
+		ry := im.MeasureCD(litho.AxisY, cx, cy-half, cy+half, cy, th, recipe.Polarity)
+		if rx.OK && ry.OK {
+			c.WNM, c.HNM = rx.CD, ry.CD
+			c.AreaRatio = (rx.CD * ry.CD) / (c.DrawnNM * float64(cut.H()))
+			c.Printed = true
+			ratioSum += c.AreaRatio
+			printed++
+		} else {
+			out.Failed++
+		}
+		out.Contacts = append(out.Contacts, c)
+	}
+	if printed > 0 {
+		out.MeanAreaRatio = ratioSum / float64(printed)
+	}
+	return out, nil
+}
+
+func sitesOf(rects []geom.Rect) []layout.GateSite {
+	out := make([]layout.GateSite, len(rects))
+	for i, r := range rects {
+		out[i] = layout.GateSite{Channel: r}
+	}
+	return out
+}
+
+// WithContacts layers contact-resistance annotations over an existing
+// per-gate annotation set: each gate's devices get
+// RContact = Rc0 / areaRatio from its contact extraction. Gates absent
+// from cext keep ideal contacts. Unopened contacts clamp the ratio to
+// minRatio (an open contact is a yield event, not a timing annotation).
+func (f *Flow) WithContacts(ann sta.Annotations, cext map[string]*ContactExtraction) sta.Annotations {
+	const minRatio = 0.25
+	rc0 := f.PDK.Device.RContactOhm
+	out := sta.Annotations{}
+	for gate, base := range ann {
+		out[gate] = base
+	}
+	for gate, ce := range cext {
+		ratio := ce.MeanAreaRatio
+		if ratio <= minRatio {
+			ratio = minRatio
+		}
+		rc := rc0 / ratio
+		base := out[gate]
+		out[gate] = wrapWithContact(base, rc)
+	}
+	return out
+}
+
+func wrapWithContact(base timinglib.Annotator, rcOhm float64) timinglib.Annotator {
+	return func(site layout.GateSite) timinglib.Lengths {
+		var l timinglib.Lengths
+		if base != nil {
+			l = base(site)
+		} else {
+			l = timinglib.Drawn(site)
+		}
+		l.RContactOhm = rcOhm
+		return l
+	}
+}

@@ -1,0 +1,123 @@
+package flow
+
+import (
+	"testing"
+
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/litho"
+	"postopc/internal/netlist"
+	"postopc/internal/place"
+	"postopc/internal/sta"
+)
+
+func TestExtractContactsNominal(t *testing.T) {
+	f := fastFlow(t)
+	pl, err := f.Place(netlist.InverterChain(3), place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := pl.Chip.FindInstance("u1")
+	ce, err := f.ExtractContacts(pl.Chip, inst, litho.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ce.Contacts) != len(inst.Cell.ShapesOn(contactLayer())) {
+		t.Fatalf("measured %d contacts", len(ce.Contacts))
+	}
+	if ce.Failed != 0 {
+		t.Fatalf("%d contacts failed to open at nominal", ce.Failed)
+	}
+	// Printed contacts land near drawn size at nominal.
+	if ce.MeanAreaRatio < 0.8 || ce.MeanAreaRatio > 1.25 {
+		t.Fatalf("mean area ratio %.3f implausible at nominal", ce.MeanAreaRatio)
+	}
+	for _, c := range ce.Contacts {
+		if !c.Printed || c.WNM < 90 || c.WNM > 150 || c.HNM < 90 || c.HNM > 150 {
+			t.Fatalf("contact %+v out of plausible print range", c)
+		}
+	}
+}
+
+func TestExtractContactsDefocusShrinks(t *testing.T) {
+	f := fastFlow(t)
+	pl, err := f.Place(netlist.InverterChain(3), place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := pl.Chip.FindInstance("u1")
+	nom, err := f.ExtractContacts(pl.Chip, inst, litho.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := f.ExtractContacts(pl.Chip, inst, litho.Corner{DefocusNM: f.PDK.Window.DefocusNM, Dose: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.MeanAreaRatio >= nom.MeanAreaRatio {
+		t.Fatalf("defocus should shrink contacts: %.3f -> %.3f",
+			nom.MeanAreaRatio, def.MeanAreaRatio)
+	}
+}
+
+func TestWithContactsSlowsTiming(t *testing.T) {
+	f := fastFlow(t)
+	n := netlist.InverterChain(6)
+	pl, err := f.Place(n, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := f.BuildGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sta.DefaultConfig(2000)
+	base, err := g.Analyze(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract contacts at heavy defocus (shrunken cuts, higher R).
+	cext := map[string]*ContactExtraction{}
+	for _, gate := range n.Gates {
+		inst := pl.Chip.FindInstance(gate.Name)
+		ce, err := f.ExtractContacts(pl.Chip, inst, litho.Corner{DefocusNM: 120, Dose: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cext[gate.Name] = ce
+	}
+	ann := f.WithContacts(sta.Annotations{}, cext)
+	withRc, err := g.Analyze(cfg, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withRc.WNS >= base.WNS {
+		t.Fatalf("contact resistance must slow the chain: %.2f vs %.2f", withRc.WNS, base.WNS)
+	}
+	// The effect is a perturbation, not a blow-up.
+	if base.WNS-withRc.WNS > 0.2*(cfg.ClockPS-base.WNS) {
+		t.Fatalf("contact derate implausibly large: %.2f -> %.2f", base.WNS, withRc.WNS)
+	}
+}
+
+func TestWithContactsClampsOpenContacts(t *testing.T) {
+	f := fastFlow(t)
+	cext := map[string]*ContactExtraction{
+		"u0": {Gate: "u0", MeanAreaRatio: 0.01}, // nearly open
+	}
+	ann := f.WithContacts(sta.Annotations{}, cext)
+	l := ann["u0"](fakeSite())
+	maxRc := f.PDK.Device.RContactOhm / 0.25
+	if l.RContactOhm > maxRc+1e-9 {
+		t.Fatalf("contact R %.1f exceeds clamp %.1f", l.RContactOhm, maxRc)
+	}
+	if l.DelayL != float64(fakeSite().L()) {
+		t.Fatal("base annotation (drawn) lost")
+	}
+}
+
+func contactLayer() layout.Layer { return layout.LayerContact }
+
+func fakeSite() layout.GateSite {
+	return layout.GateSite{Name: "MN0_0", Kind: layout.NMOS, Channel: geom.R(0, 0, 90, 520)}
+}

@@ -1,0 +1,258 @@
+package flow
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"postopc/internal/cdx"
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/litho"
+	"postopc/internal/opc"
+)
+
+// CornerCD is one gate site's extraction under one process corner.
+type CornerCD struct {
+	// Corner is the process condition.
+	Corner litho.Corner
+	// MeanCD is the average printed channel length (nm).
+	MeanCD float64
+	// Nonuniformity is max−min CD across the gate width (nm).
+	Nonuniformity float64
+	// DelayEL and LeakEL are the equivalent lengths (nm).
+	DelayEL, LeakEL float64
+	// Printed is false when any slice failed (pinched gate).
+	Printed bool
+}
+
+// SiteCD is the extraction of one transistor across all corners.
+type SiteCD struct {
+	// LocalName is the cell-local device name ("MN0_0").
+	LocalName string
+	// Kind is NMOS or PMOS.
+	Kind layout.DeviceKind
+	// DrawnL is the drawn channel length (nm).
+	DrawnL float64
+	// PerCorner holds one entry per requested corner, in order.
+	PerCorner []CornerCD
+}
+
+// GateExtraction is the post-OPC extraction of one placed gate instance.
+type GateExtraction struct {
+	// Gate is the instance (and netlist gate) name.
+	Gate string
+	// Cell is the library cell.
+	Cell string
+	// Sites are the instance's transistors.
+	Sites []SiteCD
+	// EPE is the residual-EPE report of the window's OPC run at nominal
+	// (zero-valued for OPCNone).
+	EPE opc.EPEStats
+	// EPEValues are the raw interior EPE samples behind EPE (nm), for
+	// histogramming.
+	EPEValues []float64
+	// Mode records the OPC applied.
+	Mode OPCMode
+}
+
+// ExtractOptions configure window extraction.
+type ExtractOptions struct {
+	// Corners are the process conditions to extract (default: Nominal).
+	Corners []litho.Corner
+	// Mode selects the OPC applied to each window.
+	Mode OPCMode
+}
+
+// ExtractInstance runs the window pipeline for one placed instance:
+// clip → OPC → aerial series → CD extraction → equivalent lengths.
+func (f *Flow) ExtractInstance(chip *layout.Chip, inst *layout.Instance, opt ExtractOptions) (*GateExtraction, error) {
+	if len(opt.Corners) == 0 {
+		opt.Corners = []litho.Corner{litho.Nominal}
+	}
+	sites := inst.GateSites()
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("flow: instance %s has no gate sites", inst.Name)
+	}
+	recipe := f.VerifySim.Recipe()
+	ambit := recipe.GuardNM + f.PDK.Rules.PolyPitchNM
+	window := cdx.WindowOf(sites, ambit)
+
+	// Drawn poly in the window, as polygons.
+	var drawn []geom.Polygon
+	for _, r := range chip.WindowShapes(layout.LayerPoly, window) {
+		drawn = append(drawn, r.Polygon())
+	}
+	if len(drawn) == 0 {
+		return nil, fmt.Errorf("flow: no poly in window of %s", inst.Name)
+	}
+
+	out := &GateExtraction{Gate: inst.Name, Cell: inst.Cell.Name, Mode: opt.Mode}
+	mask := drawn
+	switch opt.Mode {
+	case OPCNone:
+		// Image the drawn layout.
+	case OPCRule:
+		rt, err := f.ruleTable()
+		if err != nil {
+			return nil, err
+		}
+		var ctx geom.Region
+		for _, pg := range drawn {
+			ctx = append(ctx, geom.RegionFromPolygon(pg)...)
+		}
+		ctx = ctx.Normalize()
+		corrected, err := opc.RuleBased(drawn, ctx, rt, f.OPCOpt.Fragment, 4*f.PDK.Rules.PolyPitchNM)
+		if err != nil {
+			return nil, fmt.Errorf("flow: rule OPC on %s: %w", inst.Name, err)
+		}
+		mask = corrected
+		// Report residual EPE of the rule-corrected mask at nominal,
+		// ignoring window-boundary clipping artifacts.
+		frags, epes, err := f.verifyEPE(corrected, drawn)
+		if err != nil {
+			return nil, err
+		}
+		out.EPEValues = interiorEPEs(frags, epes, window.Expand(-recipe.GuardNM))
+		out.EPE = opc.SummarizeEPE(out.EPEValues, 8)
+	case OPCModel:
+		res, err := opc.ModelBased(f.OPCModelSim, drawn, nil, f.OPCOpt)
+		if err != nil {
+			return nil, fmt.Errorf("flow: model OPC on %s: %w", inst.Name, err)
+		}
+		mask = res.Polygons
+		out.EPEValues = interiorEPEs(res.Fragmented, res.FinalEPE, window.Expand(-recipe.GuardNM))
+		out.EPE = opc.SummarizeEPE(out.EPEValues, 8)
+	}
+
+	raster := litho.RasterizeInWindow(mask, window, recipe.PixelNM)
+	imgs, err := f.VerifySim.AerialSeries(raster, opt.Corners)
+	if err != nil {
+		return nil, fmt.Errorf("flow: imaging window of %s: %w", inst.Name, err)
+	}
+
+	cdxOpt := cdx.Options{Slices: f.CDX.Slices, ScanHalfNM: f.CDX.ScanHalfNM, EdgeMarginNM: f.CDX.EdgeMarginNM}
+	for _, site := range sites {
+		local := localSiteName(site.Name)
+		sc := SiteCD{LocalName: local, Kind: site.Kind, DrawnL: float64(site.L())}
+		for ci, corner := range opt.Corners {
+			th := recipe.EffectiveThreshold(corner)
+			g := cdx.ExtractGate(imgs[ci], site, th, recipe.Polarity, cdxOpt)
+			cc := CornerCD{
+				Corner:        corner,
+				MeanCD:        g.MeanCD(),
+				Nonuniformity: g.Nonuniformity(),
+				Printed:       g.Printed,
+			}
+			if cds := g.CDs(); len(cds) > 0 {
+				d, l, err := f.Dev.EquivalentLengths(site.Kind, cds)
+				if err == nil {
+					cc.DelayEL, cc.LeakEL = d, l
+				} else {
+					cc.Printed = false
+				}
+			}
+			sc.PerCorner = append(sc.PerCorner, cc)
+		}
+		out.Sites = append(out.Sites, sc)
+	}
+	return out, nil
+}
+
+// verifyEPE measures residual EPE of a corrected mask against drawn targets
+// using the OPC model at nominal.
+func (f *Flow) verifyEPE(corrected, drawn []geom.Polygon) ([]*opc.FragmentedPolygon, []float64, error) {
+	var targets []*opc.FragmentedPolygon
+	for _, pg := range drawn {
+		fp, err := opc.Fragmentize(pg, f.OPCOpt.Fragment)
+		if err != nil {
+			return nil, nil, err
+		}
+		targets = append(targets, fp)
+	}
+	epes, _, err := opc.Verify(f.OPCModelSim, corrected, nil, targets, litho.Nominal, 8)
+	return targets, epes, err
+}
+
+// interiorEPEs keeps only the EPE samples whose fragment control point lies
+// inside the interior rectangle: fragments created by clipping shapes at
+// the simulation-window boundary measure the clear-field roll-off, not OPC
+// quality.
+func interiorEPEs(frags []*opc.FragmentedPolygon, epes []float64, interior geom.Rect) []float64 {
+	var out []float64
+	i := 0
+	for _, fp := range frags {
+		for _, fr := range fp.Frags {
+			if i >= len(epes) {
+				return out
+			}
+			if interior.Contains(fr.Control) {
+				out = append(out, epes[i])
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// ExtractGates runs ExtractInstance for the named gates (or all netlist
+// gates when names is nil). Results are keyed by instance name.
+func (f *Flow) ExtractGates(chip *layout.Chip, names []string, opt ExtractOptions) (map[string]*GateExtraction, error) {
+	if names == nil {
+		for i := range chip.Instances {
+			in := &chip.Instances[i]
+			if len(in.Cell.Gates) > 0 && !strings.HasPrefix(in.Name, "fill") {
+				names = append(names, in.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+	// Resolve instances up front (and build the chip index once) so the
+	// parallel workers only read shared state.
+	insts := make([]*layout.Instance, len(names))
+	for i, name := range names {
+		inst := chip.FindInstance(name)
+		if inst == nil {
+			return nil, fmt.Errorf("flow: instance %s not found on chip", name)
+		}
+		insts[i] = inst
+	}
+	chip.BuildIndex()
+	if f.RuleTab == nil && opt.Mode == OPCRule {
+		if _, err := f.ruleTable(); err != nil {
+			return nil, err
+		}
+	}
+
+	exts := make([]*GateExtraction, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range names {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			exts[i], errs[i] = f.ExtractInstance(chip, insts[i], opt)
+		}(i)
+	}
+	wg.Wait()
+	out := make(map[string]*GateExtraction, len(names))
+	for i, name := range names {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[name] = exts[i]
+	}
+	return out, nil
+}
+
+func localSiteName(qualified string) string {
+	if i := strings.LastIndex(qualified, "/"); i >= 0 {
+		return qualified[i+1:]
+	}
+	return qualified
+}

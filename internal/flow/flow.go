@@ -1,0 +1,154 @@
+// Package flow implements the paper's methodology end to end: tag critical
+// gates from a drawn-CD STA, clip per-gate layout windows from the placed
+// chip, apply OPC, run patterning-process simulation through the process
+// window, extract post-OPC gate CDs, collapse them to equivalent lengths,
+// back-annotate the timing model, re-run STA and compare — plus the
+// selective-OPC DFM loop and Monte Carlo statistical timing over realistic
+// CD distributions.
+package flow
+
+import (
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/litho"
+	"postopc/internal/netlist"
+	"postopc/internal/opc"
+	"postopc/internal/pdk"
+	"postopc/internal/place"
+	"postopc/internal/sta"
+	"postopc/internal/stdcell"
+	"postopc/internal/timinglib"
+)
+
+// OPCMode selects the correction applied to each simulated window.
+type OPCMode int
+
+const (
+	// OPCNone images the drawn layout as-is.
+	OPCNone OPCMode = iota
+	// OPCRule applies table-lookup (rule-based) correction.
+	OPCRule
+	// OPCModel applies iterative model-based correction.
+	OPCModel
+)
+
+// String implements fmt.Stringer.
+func (m OPCMode) String() string {
+	switch m {
+	case OPCNone:
+		return "none"
+	case OPCRule:
+		return "rule"
+	default:
+		return "model"
+	}
+}
+
+// Flow bundles the technology stack of one run.
+type Flow struct {
+	// PDK is the kit.
+	PDK *pdk.PDK
+	// Lib is the generated cell library.
+	Lib *stdcell.Library
+	// TL is the timing library.
+	TL *timinglib.Lib
+	// Dev is the device model.
+	Dev deviceModel
+	// OPCModelSim drives the OPC inner loop (fast model by default, as in
+	// production).
+	OPCModelSim litho.Model
+	// VerifySim drives extraction/verification (the accurate model).
+	VerifySim litho.Model
+	// OPCOpt configures model-based OPC.
+	OPCOpt opc.Options
+	// CDX configures gate CD extraction.
+	CDX cdxOptions
+	// RuleTab is the rule-based OPC deck (built lazily on first use).
+	RuleTab *opc.RuleTable
+
+	// contactSim is the dark-field contact-layer model (built lazily).
+	contactSim litho.Model
+}
+
+// small aliases keep the struct doc readable without extra imports in docs
+type deviceModel = interface {
+	EquivalentLengths(kind layout.DeviceKind, cds []float64) (float64, float64, error)
+}
+
+type cdxOptions struct {
+	Slices       int
+	ScanHalfNM   float64
+	EdgeMarginNM float64
+}
+
+// Config selects the simulation accuracy profile.
+type Config struct {
+	// Fast uses the Gaussian model for verification too — for tests and
+	// quick sweeps. Default (false) verifies with the Abbe model.
+	Fast bool
+}
+
+// New assembles a Flow for the kit.
+func New(p *pdk.PDK, cfg Config) (*Flow, error) {
+	lib, err := stdcell.NewLibrary(p)
+	if err != nil {
+		return nil, err
+	}
+	gauss, err := p.FastModel()
+	if err != nil {
+		return nil, err
+	}
+	var verify litho.Model = gauss
+	if !cfg.Fast {
+		abbe, err := litho.NewAbbe(p.Litho)
+		if err != nil {
+			return nil, err
+		}
+		verify = abbe
+	}
+	tl := timinglib.New(p)
+	return &Flow{
+		PDK:         p,
+		Lib:         lib,
+		TL:          tl,
+		Dev:         tl.Dev,
+		OPCModelSim: gauss,
+		VerifySim:   verify,
+		OPCOpt:      opc.DefaultOptions(),
+		CDX: cdxOptions{
+			Slices:       7,
+			ScanHalfNM:   float64(p.Rules.PolyPitchNM) / 2,
+			EdgeMarginNM: 25,
+		},
+	}, nil
+}
+
+// Place runs the row placer on a netlist.
+func (f *Flow) Place(n *netlist.Netlist, opt place.Options) (*place.Result, error) {
+	return place.Place(n, f.Lib, opt)
+}
+
+// BuildGraph constructs the STA graph.
+func (f *Flow) BuildGraph(n *netlist.Netlist) (*sta.Graph, error) {
+	return sta.Build(n, f.Lib, f.TL)
+}
+
+// ruleTable lazily builds the rule-based OPC deck from the OPC model.
+func (f *Flow) ruleTable() (*opc.RuleTable, error) {
+	if f.RuleTab != nil {
+		return f.RuleTab, nil
+	}
+	w := f.PDK.Rules.GateLengthNM
+	spaces := []geom.Coord{
+		f.PDK.Rules.PolySpaceNM,
+		f.PDK.Rules.PolyPitchNM - w,
+		2*f.PDK.Rules.PolyPitchNM - w,
+		4 * f.PDK.Rules.PolyPitchNM,
+	}
+	rt, err := opc.BuildRuleTable(f.OPCModelSim, w, spaces)
+	if err != nil {
+		return nil, err
+	}
+	f.RuleTab = rt
+	return rt, nil
+}

@@ -1,0 +1,376 @@
+package flow
+
+import (
+	"math"
+	"sort"
+
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/litho"
+	"postopc/internal/opc"
+)
+
+// The abstract argues for a "post-OPC verification embedded design flow":
+// beyond per-gate extraction, the full chip must be checked for outright
+// printability failures. This file implements that ORC pass: the chip is
+// tiled, each tile's poly is (optionally) OPC'd and imaged through the
+// process window, and the printed image is scanned for pinching (a line
+// narrowing below the process floor) and bridging (two lines merging).
+
+// HotspotKind classifies a printability failure.
+type HotspotKind uint8
+
+const (
+	// Pinch: a drawn feature prints below the minimum acceptable CD.
+	Pinch HotspotKind = iota
+	// Bridge: the space between two drawn features prints closed.
+	Bridge
+	// EndPullback: a line end retreats past the tolerated pullback (for
+	// gate poly, pullback beyond the endcap margin breaks the channel).
+	EndPullback
+)
+
+// String implements fmt.Stringer.
+func (k HotspotKind) String() string {
+	switch k {
+	case Pinch:
+		return "pinch"
+	case Bridge:
+		return "bridge"
+	default:
+		return "end-pullback"
+	}
+}
+
+// Hotspot is one printability failure.
+type Hotspot struct {
+	// Kind is pinch or bridge.
+	Kind HotspotKind
+	// At is the failing location (nm, chip coordinates).
+	At geom.Point
+	// CDNM is the offending printed dimension (line CD for pinches, 0 for
+	// a closed bridge).
+	CDNM float64
+	// Corner is the process condition that failed.
+	Corner litho.Corner
+	// Gate is the enclosing/nearest instance name ("" when outside any).
+	Gate string
+}
+
+// ORCOptions configure full-chip verification.
+type ORCOptions struct {
+	// TileNM is the tile size (default 6000nm); each tile is simulated
+	// with the optical guard band around it.
+	TileNM geom.Coord
+	// Corners are the process conditions to check (default: window
+	// extremes of the kit).
+	Corners []litho.Corner
+	// Mode is the OPC applied per tile before imaging.
+	Mode OPCMode
+	// PinchFrac is the fraction of drawn width below which a printed CD
+	// is a pinch (default 0.6).
+	PinchFrac float64
+	// StepNM is the scan step along features (default 120nm).
+	StepNM float64
+	// EndExclusionNM keeps CD scans away from line ends, which are judged
+	// by the pullback check instead (default 160nm).
+	EndExclusionNM float64
+	// MaxPullbackNM is the tolerated line-end pullback (default: the
+	// kit's poly endcap extension minus 20nm — more than that and the
+	// retreat threatens the channel).
+	MaxPullbackNM float64
+}
+
+// ORCReport is the outcome of VerifyChip.
+type ORCReport struct {
+	// Hotspots found, pinches first, sorted by severity (ascending CD).
+	Hotspots []Hotspot
+	// Tiles processed.
+	Tiles int
+	// ScannedCDs is the number of CD scans performed.
+	ScannedCDs int
+	// ByKind counts hotspots per kind.
+	ByKind map[HotspotKind]int
+}
+
+// VerifyChip runs tiled ORC over the chip's poly layer.
+func (f *Flow) VerifyChip(chip *layout.Chip, opt ORCOptions) (*ORCReport, error) {
+	if opt.TileNM <= 0 {
+		opt.TileNM = 6000
+	}
+	if len(opt.Corners) == 0 {
+		opt.Corners = f.PDK.Window.Corners()
+	}
+	if opt.PinchFrac <= 0 {
+		opt.PinchFrac = 0.6
+	}
+	if opt.StepNM <= 0 {
+		opt.StepNM = 120
+	}
+	if opt.EndExclusionNM <= 0 {
+		opt.EndExclusionNM = 160
+	}
+	if opt.MaxPullbackNM <= 0 {
+		opt.MaxPullbackNM = float64(f.PDK.Rules.PolyExtNM) - 20
+	}
+	recipe := f.VerifySim.Recipe()
+	guard := recipe.GuardNM
+	die := chip.Die
+	rep := &ORCReport{ByKind: map[HotspotKind]int{}}
+	for ty := die.Y0; ty < die.Y1; ty += opt.TileNM {
+		for tx := die.X0; tx < die.X1; tx += opt.TileNM {
+			tile := geom.R(tx, ty, minC(tx+opt.TileNM, die.X1), minC(ty+opt.TileNM, die.Y1))
+			if err := f.verifyTile(chip, tile, guard, opt, rep); err != nil {
+				return nil, err
+			}
+			rep.Tiles++
+		}
+	}
+	sort.Slice(rep.Hotspots, func(i, j int) bool {
+		a, b := rep.Hotspots[i], rep.Hotspots[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.CDNM < b.CDNM
+	})
+	return rep, nil
+}
+
+func (f *Flow) verifyTile(chip *layout.Chip, tile geom.Rect, guard geom.Coord, opt ORCOptions, rep *ORCReport) error {
+	recipe := f.VerifySim.Recipe()
+	window := tile.Expand(guard + f.PDK.Rules.PolyPitchNM)
+	rects := chip.WindowShapes(layout.LayerPoly, window)
+	if len(rects) == 0 {
+		return nil
+	}
+	var drawn []geom.Polygon
+	for _, r := range rects {
+		drawn = append(drawn, r.Polygon())
+	}
+	mask := drawn
+	switch opt.Mode {
+	case OPCRule:
+		rt, err := f.ruleTable()
+		if err != nil {
+			return err
+		}
+		var ctx geom.Region
+		for _, pg := range drawn {
+			ctx = append(ctx, geom.RegionFromPolygon(pg)...)
+		}
+		corrected, err := opc.RuleBased(drawn, ctx.Normalize(), rt, f.OPCOpt.Fragment, 4*f.PDK.Rules.PolyPitchNM)
+		if err != nil {
+			return err
+		}
+		mask = corrected
+	case OPCModel:
+		res, err := opc.ModelBased(f.OPCModelSim, drawn, nil, f.OPCOpt)
+		if err != nil {
+			return err
+		}
+		mask = res.Polygons
+	}
+	raster := litho.RasterizeInWindow(mask, window, recipe.PixelNM)
+	imgs, err := f.VerifySim.AerialSeries(raster, opt.Corners)
+	if err != nil {
+		return err
+	}
+	drawnRegion := geom.RegionFromRects(rects...).Normalize()
+	for ci, corner := range opt.Corners {
+		th := recipe.EffectiveThreshold(corner)
+		f.scanPinches(chip, imgs[ci], rects, tile, th, corner, opt, rep)
+		f.scanBridges(chip, imgs[ci], rects, drawnRegion, tile, th, corner, opt, rep)
+	}
+	return nil
+}
+
+// scanPinches walks each drawn poly rect lengthwise measuring the printed
+// CD across it.
+func (f *Flow) scanPinches(chip *layout.Chip, im *litho.Image, rects []geom.Rect,
+	tile geom.Rect, th float64, corner litho.Corner, opt ORCOptions, rep *ORCReport) {
+	recipe := f.VerifySim.Recipe()
+	for _, r := range rects {
+		vertical := r.H() >= r.W()
+		var drawnW geom.Coord
+		if vertical {
+			drawnW = r.W()
+		} else {
+			drawnW = r.H()
+		}
+		minCD := opt.PinchFrac * float64(drawnW)
+		scanHalf := float64(drawnW) * 2.5
+		length := r.H()
+		if !vertical {
+			length = r.W()
+		}
+		// CD scans stay away from the ends (judged by the pullback check).
+		lo := opt.EndExclusionNM
+		hi := float64(length) - opt.EndExclusionNM
+		steps := int((hi-lo)/opt.StepNM) + 1
+		// Report at most one pinch per feature per corner: the worst scan.
+		worst := Hotspot{CDNM: math.Inf(1)}
+		found := false
+		for s := 0; s < steps && hi > lo; s++ {
+			frac := (float64(s) + 0.5) / float64(steps)
+			pos := lo + frac*(hi-lo)
+			var at geom.Point
+			var res litho.CDResult
+			if vertical {
+				y := float64(r.Y0) + pos
+				cx := float64(r.X0+r.X1) / 2
+				at = geom.Pt(geom.Coord(cx), geom.Coord(y))
+				res = im.MeasureCD(litho.AxisX, y, cx-scanHalf, cx+scanHalf, cx, th, recipe.Polarity)
+			} else {
+				x := float64(r.X0) + pos
+				cy := float64(r.Y0+r.Y1) / 2
+				at = geom.Pt(geom.Coord(x), geom.Coord(cy))
+				res = im.MeasureCD(litho.AxisY, x, cy-scanHalf, cy+scanHalf, cy, th, recipe.Polarity)
+			}
+			rep.ScannedCDs++
+			if !tile.Contains(at) {
+				continue // counted by the neighbouring tile
+			}
+			if !res.OK || res.CD < minCD {
+				cd := 0.0
+				if res.OK {
+					cd = res.CD
+				}
+				if cd < worst.CDNM {
+					worst = Hotspot{Kind: Pinch, At: at, CDNM: cd, Corner: corner,
+						Gate: nearestInstance(chip, at)}
+					found = true
+				}
+			}
+		}
+		if found {
+			rep.add(worst)
+		}
+		f.scanPullback(chip, im, r, vertical, tile, th, corner, opt, rep)
+	}
+}
+
+// scanPullback measures how far each line end of a feature retreats from
+// its drawn position and flags retreats beyond the tolerance. Only long
+// features (strips) have meaningful line ends; squares are judged by the
+// pinch check alone.
+func (f *Flow) scanPullback(chip *layout.Chip, im *litho.Image, r geom.Rect, vertical bool,
+	tile geom.Rect, th float64, corner litho.Corner, opt ORCOptions, rep *ORCReport) {
+	recipe := f.VerifySim.Recipe()
+	length := r.H()
+	if !vertical {
+		length = r.W()
+	}
+	if float64(length) < 3*opt.EndExclusionNM {
+		return
+	}
+	var res litho.CDResult
+	var drawnLo, drawnHi float64
+	if vertical {
+		cx := float64(r.X0+r.X1) / 2
+		mid := float64(r.Y0+r.Y1) / 2
+		res = im.MeasureCD(litho.AxisY, cx, float64(r.Y0)-2*opt.MaxPullbackNM,
+			float64(r.Y1)+2*opt.MaxPullbackNM, mid, th, recipe.Polarity)
+		drawnLo, drawnHi = float64(r.Y0), float64(r.Y1)
+	} else {
+		cy := float64(r.Y0+r.Y1) / 2
+		mid := float64(r.X0+r.X1) / 2
+		res = im.MeasureCD(litho.AxisX, cy, float64(r.X0)-2*opt.MaxPullbackNM,
+			float64(r.X1)+2*opt.MaxPullbackNM, mid, th, recipe.Polarity)
+		drawnLo, drawnHi = float64(r.X0), float64(r.X1)
+	}
+	rep.ScannedCDs++
+	if !res.OK {
+		return // total failure already reported as a pinch
+	}
+	report := func(pullback, pos float64) {
+		if pullback <= opt.MaxPullbackNM {
+			return
+		}
+		var at geom.Point
+		if vertical {
+			at = geom.Pt((r.X0+r.X1)/2, geom.Coord(pos))
+		} else {
+			at = geom.Pt(geom.Coord(pos), (r.Y0+r.Y1)/2)
+		}
+		if !tile.Contains(at) {
+			return
+		}
+		rep.add(Hotspot{Kind: EndPullback, At: at, CDNM: pullback, Corner: corner,
+			Gate: nearestInstance(chip, at)})
+	}
+	report(res.Lo-drawnLo, res.Lo)
+	report(drawnHi-res.Hi, res.Hi)
+}
+
+// scanBridges samples the space between horizontally adjacent poly rects.
+// drawn is the region of all drawn geometry in the window: a sample only
+// counts as a bridge when resist prints where nothing is drawn (this also
+// rejects pairs separated by an intermediate feature).
+func (f *Flow) scanBridges(chip *layout.Chip, im *litho.Image, rects []geom.Rect,
+	drawn geom.Region, tile geom.Rect, th float64, corner litho.Corner, opt ORCOptions, rep *ORCReport) {
+	recipe := f.VerifySim.Recipe()
+	printed := func(x, y float64) bool {
+		v := im.Sample(x, y)
+		if recipe.Polarity == litho.ClearField {
+			return v < th
+		}
+		return v > th
+	}
+	maxSpace := 2 * f.PDK.Rules.PolyPitchNM
+	for i, a := range rects {
+		for _, b := range rects[i+1:] {
+			// Horizontal neighbours with y overlap.
+			if b.X0 < a.X1 || b.X0-a.X1 > maxSpace {
+				continue
+			}
+			y0 := maxC(a.Y0, b.Y0)
+			y1 := minC(a.Y1, b.Y1)
+			if y1 <= y0 {
+				continue
+			}
+			midX := float64(a.X1+b.X0) / 2
+			steps := int(float64(y1-y0)/opt.StepNM) + 1
+			// At most one bridge hotspot per rect pair per corner.
+			for s := 0; s < steps; s++ {
+				y := float64(y0) + (float64(s)+0.5)/float64(steps)*float64(y1-y0)
+				at := geom.Pt(geom.Coord(midX), geom.Coord(y))
+				rep.ScannedCDs++
+				if !tile.Contains(at) || drawn.Contains(at) {
+					continue
+				}
+				if printed(midX, y) {
+					rep.add(Hotspot{Kind: Bridge, At: at, CDNM: 0, Corner: corner,
+						Gate: nearestInstance(chip, at)})
+					break
+				}
+			}
+		}
+	}
+}
+
+func (rep *ORCReport) add(h Hotspot) {
+	rep.Hotspots = append(rep.Hotspots, h)
+	rep.ByKind[h.Kind]++
+}
+
+// nearestInstance names the instance containing p (or "" if none).
+func nearestInstance(chip *layout.Chip, p geom.Point) string {
+	for _, in := range chip.InstancesIn(geom.R(p.X, p.Y, p.X+1, p.Y+1)) {
+		return in.Name
+	}
+	return ""
+}
+
+func minC(a, b geom.Coord) geom.Coord {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxC(a, b geom.Coord) geom.Coord {
+	if a > b {
+		return a
+	}
+	return b
+}

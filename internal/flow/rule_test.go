@@ -1,0 +1,92 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"postopc/internal/netlist"
+	"postopc/internal/pdk"
+	"postopc/internal/place"
+)
+
+func TestExtractInstanceRuleOPC(t *testing.T) {
+	f := fastFlow(t)
+	pl, err := f.Place(netlist.InverterChain(3), place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := pl.Chip.FindInstance("u1")
+	ext, err := f.ExtractInstance(pl.Chip, inst, ExtractOptions{Mode: OPCRule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Mode != OPCRule || ext.Mode.String() != "rule" {
+		t.Fatalf("mode = %v", ext.Mode)
+	}
+	// Rule OPC produces a printed gate near drawn, with an EPE report.
+	cc := ext.Sites[0].PerCorner[0]
+	if !cc.Printed || math.Abs(cc.MeanCD-90) > 8 {
+		t.Fatalf("rule-OPC CD = %.1f", cc.MeanCD)
+	}
+	if ext.EPE.Count == 0 {
+		t.Fatal("rule-OPC EPE report empty")
+	}
+	// The rule table is cached on the flow.
+	if f.RuleTab == nil || len(f.RuleTab.SpacesNM) == 0 {
+		t.Fatal("rule table not cached")
+	}
+	// OPCNone stringer too.
+	if OPCNone.String() != "none" || OPCModel.String() != "model" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestRunRejectsMissingClock(t *testing.T) {
+	f := fastFlow(t)
+	if _, err := f.Run(netlist.InverterChain(2), RunOptions{}); err == nil {
+		t.Fatal("zero clock accepted")
+	}
+}
+
+func TestNewAbbeFlow(t *testing.T) {
+	// The accurate (Abbe-verified) constructor path.
+	f, err := New(pdk.N90(), Config{Fast: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.VerifySim == f.OPCModelSim {
+		t.Fatal("accurate flow must verify with a different model than the OPC loop")
+	}
+	if f.VerifySim.Recipe().Threshold == f.OPCModelSim.Recipe().Threshold {
+		t.Fatal("Abbe and Gaussian thresholds must differ (separate calibrations)")
+	}
+}
+
+func TestVariationHelpers(t *testing.T) {
+	if clampF(5, 1.5) != 1.5 || clampF(-5, 1.5) != -1.5 || clampF(0.3, 1.5) != 0.3 {
+		t.Fatal("clampF")
+	}
+	if nonzero(0) != 1 || nonzero(7) != 7 {
+		t.Fatal("nonzero")
+	}
+	var mc MCResult
+	if !math.IsNaN(mc.Percentile(0.5)) {
+		t.Fatal("empty MC percentile should be NaN")
+	}
+	mc.WNS = []float64{1, 2, 3}
+	if mc.Percentile(-1) != 1 || mc.Percentile(2) != 3 {
+		t.Fatal("percentile clamping")
+	}
+}
+
+func TestLocalSiteName(t *testing.T) {
+	if localSiteName("u1/MN0_0") != "MN0_0" {
+		t.Fatal("qualified")
+	}
+	if localSiteName("MN0_0") != "MN0_0" {
+		t.Fatal("bare")
+	}
+	if localSiteName("a/b/c") != "c" {
+		t.Fatal("nested")
+	}
+}

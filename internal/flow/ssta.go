@@ -1,0 +1,108 @@
+package flow
+
+import (
+	"fmt"
+
+	"postopc/internal/layout"
+	"postopc/internal/netlist"
+	"postopc/internal/sta"
+	"postopc/internal/timinglib"
+)
+
+// CanonicalArcs bridges the per-gate variation model into the SSTA engine:
+// each gate's cell is evaluated at five annotation points — nominal, full
+// window defocus (u = 1), the two dose extremes (d = ±1), and a +1σ random
+// CD offset — and arc delays at those points yield the canonical delay's
+// sensitivities.
+type canonicalArcs struct {
+	tl    *timinglib.Lib
+	evals map[string]*gateEvalSet
+}
+
+type gateEvalSet struct {
+	nominal, defocus, dosePlus, doseMinus, randPlus timinglib.Eval
+}
+
+// CanonicalArcs builds the SSTA arc model for a netlist from its variation
+// model (see BuildVariationModel). Gates missing from the model time at
+// drawn with zero sensitivities.
+func (f *Flow) CanonicalArcs(n *netlist.Netlist, vm *VariationModel) (sta.CanonicalArcs, error) {
+	points := []sta.Annotations{
+		vm.Annotations(0, 1, nil),                                   // nominal
+		vm.Annotations(vm.PW.DefocusNM, 1, nil),                     // u = 1
+		vm.Annotations(0, 1+vm.PW.DoseFrac, nil),                    // d = +1
+		vm.Annotations(0, 1-vm.PW.DoseFrac, nil),                    // d = −1
+		withRandomOffset(vm.Annotations(0, 1, nil), vm.RandSigmaNM), // +1σ random
+	}
+	ca := &canonicalArcs{tl: f.TL, evals: map[string]*gateEvalSet{}}
+	for _, gate := range n.Gates {
+		info, err := f.Lib.Get(gate.Cell)
+		if err != nil {
+			return nil, err
+		}
+		set := &gateEvalSet{}
+		for i, dst := range []*timinglib.Eval{
+			&set.nominal, &set.defocus, &set.dosePlus, &set.doseMinus, &set.randPlus,
+		} {
+			ann := points[i][gate.Name]
+			ev, err := f.TL.Evaluate(info, ann)
+			if err != nil {
+				return nil, fmt.Errorf("flow: SSTA eval of %s: %w", gate.Name, err)
+			}
+			*dst = ev
+		}
+		ca.evals[gate.Name] = set
+	}
+	return ca, nil
+}
+
+// withRandomOffset shifts every site of every gate by +sigma nm.
+func withRandomOffset(base sta.Annotations, sigmaNM float64) sta.Annotations {
+	out := sta.Annotations{}
+	for gate, ann := range base {
+		a := ann
+		out[gate] = func(site layout.GateSite) timinglib.Lengths {
+			var l timinglib.Lengths
+			if a != nil {
+				l = a(site)
+			} else {
+				l = timinglib.Drawn(site)
+			}
+			l.DelayL += sigmaNM
+			l.LeakL += sigmaNM
+			return l
+		}
+	}
+	return out
+}
+
+// Arc implements sta.CanonicalArcs.
+func (ca *canonicalArcs) Arc(gate string, outRise bool, loadFF, inSlewPS float64) (sta.Canonical, float64) {
+	return ca.canonical(gate, outRise, loadFF, inSlewPS)
+}
+
+// Launch implements sta.CanonicalArcs.
+func (ca *canonicalArcs) Launch(gate string, outRise bool, loadFF, inSlewPS float64) (sta.Canonical, float64) {
+	return ca.canonical(gate, outRise, loadFF, inSlewPS)
+}
+
+func (ca *canonicalArcs) canonical(gate string, outRise bool, loadFF, inSlewPS float64) (sta.Canonical, float64) {
+	set := ca.evals[gate]
+	if set == nil {
+		// Unknown gate: zero-delay placeholder (cannot happen for graphs
+		// built from the same netlist).
+		return sta.Canonical{}, inSlewPS
+	}
+	d0, s0 := ca.tl.ArcDelay(set.nominal, outRise, loadFF, inSlewPS)
+	du, _ := ca.tl.ArcDelay(set.defocus, outRise, loadFF, inSlewPS)
+	dp, _ := ca.tl.ArcDelay(set.dosePlus, outRise, loadFF, inSlewPS)
+	dm, _ := ca.tl.ArcDelay(set.doseMinus, outRise, loadFF, inSlewPS)
+	dr, _ := ca.tl.ArcDelay(set.randPlus, outRise, loadFF, inSlewPS)
+	c := sta.Canonical{
+		Mean:  d0,
+		SensU: du - d0,
+		SensD: (dp - dm) / 2,
+	}
+	c.Rand2 = (dr - d0) * (dr - d0)
+	return c, s0
+}

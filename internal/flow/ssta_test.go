@@ -1,0 +1,89 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"postopc/internal/sta"
+)
+
+func TestSSTAMatchesMonteCarlo(t *testing.T) {
+	res := fullRun(t)
+	f := fastFlow(t)
+	vm, err := BuildVariationModel(res.Extractions, f.PDK.Window, f.PDK.Device.SigmaLRandomNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sta.DefaultConfig(1500)
+	arcs, err := f.CanonicalArcs(res.Netlist, vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sta.DefaultSSTAParams()
+	ss, err := res.Graph.AnalyzeSSTA(cfg, p, arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := vm.MonteCarlo(res.Graph, cfg, 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssMean := ss.WNS.MeanTotal(p)
+	ssSigma := ss.WNS.Sigma(p)
+	// First-order SSTA against sampled truth: mean within a few ps (or a
+	// fraction of the spread), sigma within a factor of two.
+	tol := math.Max(3, 0.5*mc.StdWNS)
+	if math.Abs(ssMean-mc.MeanWNS) > tol {
+		t.Fatalf("SSTA WNS mean %.2f vs MC %.2f (tol %.2f)", ssMean, mc.MeanWNS, tol)
+	}
+	if ssSigma < mc.StdWNS/2 || ssSigma > mc.StdWNS*2 {
+		t.Fatalf("SSTA sigma %.2f vs MC %.2f", ssSigma, mc.StdWNS)
+	}
+	// Endpoint ordering agrees with the deterministic nominal analysis on
+	// the most critical endpoint.
+	det, err := res.Graph.Analyze(cfg, Annotations(res.Extractions, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Endpoints[0].Name != det.Endpoints[0].Name {
+		t.Logf("note: SSTA worst endpoint %s vs nominal %s (can differ when sensitivities reorder)",
+			ss.Endpoints[0].Name, det.Endpoints[0].Name)
+	}
+	// Endpoints are sorted by mean slack.
+	for i := 1; i < len(ss.Endpoints); i++ {
+		if ss.Endpoints[i].Slack.MeanTotal(p) < ss.Endpoints[i-1].Slack.MeanTotal(p) {
+			t.Fatal("SSTA endpoints not sorted")
+		}
+	}
+}
+
+func TestCanonicalArcsSensitivities(t *testing.T) {
+	res := fullRun(t)
+	f := fastFlow(t)
+	vm, err := BuildVariationModel(res.Extractions, f.PDK.Window, f.PDK.Device.SigmaLRandomNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcs, err := f.CanonicalArcs(res.Netlist, vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := res.Netlist.Gates[0].Name
+	c, slew := arcs.Arc(gate, true, 8, 30)
+	if c.Mean <= 0 || slew <= 0 {
+		t.Fatalf("arc canonical %+v slew %g", c, slew)
+	}
+	// Defocus shortens gates -> faster -> negative focus sensitivity.
+	if c.SensU >= 0 {
+		t.Fatalf("SensU = %g, want negative (defocus speeds up)", c.SensU)
+	}
+	// Random CD lengthening slows the arc: positive variance recorded.
+	if c.Rand2 <= 0 {
+		t.Fatalf("Rand2 = %g", c.Rand2)
+	}
+	// Unknown gates degrade to zero-delay placeholders.
+	z, _ := arcs.Arc("ghost", true, 8, 30)
+	if z.Mean != 0 {
+		t.Fatalf("ghost arc = %+v", z)
+	}
+}

@@ -1,0 +1,58 @@
+package flow
+
+import (
+	"fmt"
+
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/netlist"
+)
+
+// CWirePerUMFF is the estimated routed-wire capacitance per micron of
+// half-perimeter wirelength at the 90nm node (fF/µm).
+const CWirePerUMFF = 0.20
+
+// WireLoads estimates per-net wire capacitance from the placement: the
+// half-perimeter wirelength (HPWL) of the bounding box of the net's pin
+// instances, times CWirePerUMFF. Primary I/O pins are assumed to enter at
+// the driver/sink bounding box (they add no span of their own).
+//
+// This replaces the flat per-fanout wire cap of the kit with a
+// placement-aware estimate — the "extracted parasitics" flavour of load
+// the paper's sign-off flow would use. Pass the result via
+// sta.Config.WireLoads.
+func (f *Flow) WireLoads(chip *layout.Chip, n *netlist.Netlist) (map[string]float64, error) {
+	conns, err := n.Connectivity(f.Lib)
+	if err != nil {
+		return nil, err
+	}
+	// Instance centers by gate index.
+	centers := make([]geom.Point, len(n.Gates))
+	for gi, g := range n.Gates {
+		inst := chip.FindInstance(g.Name)
+		if inst == nil {
+			return nil, fmt.Errorf("flow: gate %s not placed", g.Name)
+		}
+		centers[gi] = inst.Bounds().Center()
+	}
+	out := make(map[string]float64, len(conns))
+	for net, c := range conns {
+		var pts []geom.Point
+		if c.Driver.Gate >= 0 {
+			pts = append(pts, centers[c.Driver.Gate])
+		}
+		for _, s := range c.Sinks {
+			if s.Gate >= 0 {
+				pts = append(pts, centers[s.Gate])
+			}
+		}
+		if len(pts) < 2 {
+			out[net] = 0 // single-pin or pure-I/O net: no routed span
+			continue
+		}
+		bb := geom.BBoxOf(pts)
+		hpwlUM := float64(bb.W()+bb.H()) / 1000
+		out[net] = hpwlUM * CWirePerUMFF
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package flow
+
+import (
+	"testing"
+
+	"postopc/internal/netlist"
+	"postopc/internal/place"
+	"postopc/internal/sta"
+)
+
+func TestWireLoadsBasics(t *testing.T) {
+	f := fastFlow(t)
+	n := netlist.RippleCarryAdder(4)
+	pl, err := f.Place(n, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := f.WireLoads(pl.Chip, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns, err := n.Connectivity(f.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != len(conns) {
+		t.Fatalf("loads for %d nets, want %d", len(loads), len(conns))
+	}
+	anyPositive := false
+	for net, l := range loads {
+		if l < 0 {
+			t.Fatalf("negative wire load on %s", net)
+		}
+		if l > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		t.Fatal("all wire loads zero on a placed design")
+	}
+}
+
+func TestWireLoadsScaleWithDistance(t *testing.T) {
+	f := fastFlow(t)
+	n := netlist.InverterChain(40)
+	// Narrow rows force the chain to snake across many rows: late nets
+	// connect gates in adjacent rows, early nets connect neighbours.
+	pl, err := f.Place(n, place.Options{RowWidthNM: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := f.WireLoads(pl.Chip, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adjacent-gate nets should be cheaper than the row-wrapping nets.
+	var maxLoad, minLoad float64
+	first := true
+	for _, g := range n.Gates {
+		l := loads[g.Conn["Y"]]
+		if first {
+			maxLoad, minLoad = l, l
+			first = false
+			continue
+		}
+		if l > maxLoad {
+			maxLoad = l
+		}
+		if l < minLoad {
+			minLoad = l
+		}
+	}
+	if maxLoad <= 2*minLoad {
+		t.Fatalf("wire loads show no placement structure: min %.3f max %.3f", minLoad, maxLoad)
+	}
+}
+
+func TestWireLoadsAffectTiming(t *testing.T) {
+	f := fastFlow(t)
+	n := netlist.RippleCarryAdder(4)
+	pl, err := f.Place(n, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := f.BuildGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sta.DefaultConfig(3000)
+	flat, err := g.Analyze(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := f.WireLoads(pl.Chip, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WireLoads = loads
+	wired, err := g.Analyze(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.WNS == wired.WNS {
+		t.Fatal("placement-aware loads had no timing effect")
+	}
+	// Determinism with the same loads.
+	wired2, err := g.Analyze(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wired.WNS != wired2.WNS {
+		t.Fatal("wire-load analysis not deterministic")
+	}
+}
+
+func TestWireLoadsUnplacedGate(t *testing.T) {
+	f := fastFlow(t)
+	n := netlist.InverterChain(2)
+	pl, err := f.Place(netlist.InverterChain(3), place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chip belongs to a different netlist: u0/u1 exist, but the netlists
+	// differ in name only — construct a real mismatch instead.
+	n.AddGate("ghost", "INV_X1", map[string]string{"A": n.Outputs[0], "Y": "gy"})
+	if _, err := f.WireLoads(pl.Chip, n); err == nil {
+		t.Fatal("unplaced gate accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package geom
+
+// Index is a uniform-grid spatial index over items with rectangular extents.
+// It answers "which items overlap this window" queries, which is how the
+// flow clips per-gate simulation windows out of a placed chip layout.
+type Index[T any] struct {
+	bounds Rect
+	cell   Coord
+	nx, ny int
+	bins   [][]indexEntry[T]
+	items  []T
+	rects  []Rect
+}
+
+type indexEntry[T any] struct{ id int }
+
+// NewIndex creates an index over the given bounds with the given bin pitch.
+func NewIndex[T any](bounds Rect, cell Coord) *Index[T] {
+	if cell <= 0 {
+		panic("geom: index cell pitch must be positive")
+	}
+	nx := int((bounds.W() + cell - 1) / cell)
+	ny := int((bounds.H() + cell - 1) / cell)
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	return &Index[T]{
+		bounds: bounds,
+		cell:   cell,
+		nx:     nx,
+		ny:     ny,
+		bins:   make([][]indexEntry[T], nx*ny),
+	}
+}
+
+// Insert adds an item with extent r. Items outside the index bounds are
+// clamped into the border bins so they are still discoverable.
+func (ix *Index[T]) Insert(r Rect, item T) {
+	id := len(ix.items)
+	ix.items = append(ix.items, item)
+	ix.rects = append(ix.rects, r)
+	bx0, by0, bx1, by1 := ix.binRange(r)
+	for by := by0; by <= by1; by++ {
+		for bx := bx0; bx <= bx1; bx++ {
+			b := by*ix.nx + bx
+			ix.bins[b] = append(ix.bins[b], indexEntry[T]{id})
+		}
+	}
+}
+
+func (ix *Index[T]) binRange(r Rect) (bx0, by0, bx1, by1 int) {
+	clampInt := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	bx0 = clampInt(int((r.X0-ix.bounds.X0)/ix.cell), 0, ix.nx-1)
+	by0 = clampInt(int((r.Y0-ix.bounds.Y0)/ix.cell), 0, ix.ny-1)
+	bx1 = clampInt(int((r.X1-ix.bounds.X0)/ix.cell), 0, ix.nx-1)
+	by1 = clampInt(int((r.Y1-ix.bounds.Y0)/ix.cell), 0, ix.ny-1)
+	return
+}
+
+// Len returns the number of items inserted.
+func (ix *Index[T]) Len() int { return len(ix.items) }
+
+// Query calls fn for every item whose extent intersects w. Items spanning
+// multiple bins are reported once. If fn returns false the query stops.
+func (ix *Index[T]) Query(w Rect, fn func(r Rect, item T) bool) {
+	seen := make(map[int]struct{})
+	bx0, by0, bx1, by1 := ix.binRange(w)
+	for by := by0; by <= by1; by++ {
+		for bx := bx0; bx <= bx1; bx++ {
+			for _, e := range ix.bins[by*ix.nx+bx] {
+				if _, ok := seen[e.id]; ok {
+					continue
+				}
+				seen[e.id] = struct{}{}
+				r := ix.rects[e.id]
+				if r.Intersects(w) || r.ContainsRect(w) || w.ContainsRect(r) {
+					if !fn(r, ix.items[e.id]) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// QueryAll returns all items whose extent intersects w.
+func (ix *Index[T]) QueryAll(w Rect) []T {
+	var out []T
+	ix.Query(w, func(_ Rect, item T) bool {
+		out = append(out, item)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,121 @@
+package geom
+
+// Morphological operations on Regions — the computational core of design
+// rule checking: minimum-width violations are the residue removed by an
+// opening, minimum-space violations are the same on the complement.
+
+// Expand grows the region by d on every side (Minkowski sum with a 2d
+// square). Negative d is not supported here; use Shrink.
+func (rg Region) Expand(d Coord) Region {
+	if d < 0 {
+		panic("geom: Region.Expand needs d >= 0; use Shrink")
+	}
+	out := make(Region, 0, len(rg))
+	for _, r := range rg {
+		if !r.Empty() {
+			out = append(out, r.Expand(d))
+		}
+	}
+	return out.Normalize()
+}
+
+// Shrink erodes the region by d on every side: the set of points at least
+// d inside. Computed as the complement of the expanded complement within a
+// sufficiently padded universe.
+func (rg Region) Shrink(d Coord) Region {
+	if d < 0 {
+		panic("geom: Region.Shrink needs d >= 0")
+	}
+	if d == 0 {
+		return rg.Normalize()
+	}
+	if rg.Empty() {
+		return nil
+	}
+	bb := rg.BBox()
+	universe := RegionFromRects(bb.Expand(2*d + 2))
+	complement := universe.Subtract(rg)
+	return universe.Subtract(complement.Expand(d)).ClipToRect(bb)
+}
+
+// Opening erodes then dilates: features narrower than 2d disappear and
+// reappear nowhere; everything else survives (with corners squared off).
+func (rg Region) Opening(d Coord) Region {
+	return rg.Shrink(d).Expand(d)
+}
+
+// NarrowerThan returns the sub-region of rg that is locally narrower than
+// w (in its thinnest direction) — the minimum-width DRC residue. Thin
+// slivers narrower than w vanish under an opening; what the opening fails
+// to cover is the violation area.
+//
+// w is exclusive: features exactly w wide are clean, w−1 is flagged. The
+// computation runs on a doubled coordinate grid so the half-integer
+// erosion distance (w−1)/2 is exact.
+func (rg Region) NarrowerThan(w Coord) Region {
+	if w <= 1 {
+		return nil
+	}
+	doubled := rg.scale2()
+	opened := doubled.Opening(w - 1) // kills doubled widths ≤ 2w−2, i.e. real widths ≤ w−1
+	return doubled.Subtract(opened).unscale2()
+}
+
+// scale2 doubles all coordinates (exact half-unit grid).
+func (rg Region) scale2() Region {
+	out := make(Region, 0, len(rg))
+	for _, r := range rg {
+		out = append(out, Rect{2 * r.X0, 2 * r.Y0, 2 * r.X1, 2 * r.Y1})
+	}
+	return out.Normalize()
+}
+
+// unscale2 halves all coordinates, rounding outward (violation markers may
+// only grow, never vanish).
+func (rg Region) unscale2() Region {
+	out := make(Region, 0, len(rg))
+	for _, r := range rg {
+		if r.Empty() {
+			continue
+		}
+		out = append(out, Rect{
+			floorDiv2(r.X0), floorDiv2(r.Y0),
+			ceilDiv2(r.X1), ceilDiv2(r.Y1),
+		})
+	}
+	return out.Normalize()
+}
+
+func floorDiv2(v Coord) Coord {
+	if v >= 0 {
+		return v / 2
+	}
+	return -((-v + 1) / 2)
+}
+
+func ceilDiv2(v Coord) Coord {
+	if v >= 0 {
+		return (v + 1) / 2
+	}
+	return -(-v / 2)
+}
+
+// GapsNarrowerThan returns the parts of the space between features of rg
+// that are narrower than s — the minimum-space DRC residue. The outer
+// boundary of the layout does not count as a gap.
+func (rg Region) GapsNarrowerThan(s Coord) Region {
+	if s <= 1 || rg.Empty() {
+		return nil
+	}
+	bb := rg.BBox()
+	universe := RegionFromRects(bb.Expand(2*s + 2))
+	gaps := universe.Subtract(rg)
+	// The unbounded outside survives any opening of size < padding, so
+	// only genuine inter-feature gaps appear in the residue.
+	return gaps.NarrowerThan(s).ClipToRect(bb)
+}
+
+// Covers reports whether rg completely covers other.
+func (rg Region) Covers(other Region) bool {
+	return other.Subtract(rg).Empty()
+}

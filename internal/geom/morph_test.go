@@ -1,0 +1,174 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionExpandShrinkBasics(t *testing.T) {
+	rg := RegionFromRects(R(100, 100, 300, 200))
+	if got := rg.Expand(10).Area(); got != 220*120 {
+		t.Fatalf("expand area = %d", got)
+	}
+	if got := rg.Shrink(10).Area(); got != 180*80 {
+		t.Fatalf("shrink area = %d", got)
+	}
+	// Shrink by half the height kills the rect entirely.
+	if got := rg.Shrink(50); !got.Empty() {
+		t.Fatalf("over-shrink = %v", got)
+	}
+	if got := rg.Shrink(0).Area(); got != rg.Area() {
+		t.Fatal("zero shrink must be identity")
+	}
+	var empty Region
+	if empty.Shrink(5) != nil || len(empty.Expand(5)) != 0 {
+		t.Fatal("empty region morphs to empty")
+	}
+}
+
+func TestRegionShrinkExpandInverseForFatRects(t *testing.T) {
+	// For a single rectangle much larger than d, expand∘shrink is identity.
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		d := Coord(1 + rnd.Intn(20))
+		r := R(0, 0, 100+Coord(rnd.Intn(200)), 100+Coord(rnd.Intn(200)))
+		rg := RegionFromRects(r)
+		back := rg.Shrink(d).Expand(d)
+		return back.Area() == rg.Area() && back.Subtract(rg).Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpeningRemovesSlivers(t *testing.T) {
+	// A 200x200 pad with a 20nm-wide, 200-long finger sticking out.
+	rg := RegionFromRects(
+		R(0, 0, 200, 200),
+		R(200, 90, 400, 110), // 20nm sliver
+	)
+	opened := rg.Opening(30)
+	// The sliver must be gone, the pad (shrunk corners aside) retained.
+	if opened.Contains(Pt(300, 100)) {
+		t.Fatal("opening kept the sliver")
+	}
+	if !opened.Contains(Pt(100, 100)) {
+		t.Fatal("opening destroyed the pad")
+	}
+}
+
+func TestNarrowerThanFindsSliver(t *testing.T) {
+	rg := RegionFromRects(
+		R(0, 0, 200, 200),    // fat pad
+		R(200, 90, 400, 110), // 20nm neck: violates w=60
+		R(400, 0, 600, 200),  // fat pad
+	)
+	viol := rg.NarrowerThan(60)
+	if viol.Empty() {
+		t.Fatal("sliver not detected")
+	}
+	// The violation lies on the neck.
+	if !viol.Contains(Pt(300, 100)) {
+		t.Fatalf("violation region misses the neck: %v", viol)
+	}
+	// Wide-enough geometry is clean.
+	clean := RegionFromRects(R(0, 0, 200, 200)).NarrowerThan(60)
+	if !clean.Empty() {
+		t.Fatalf("clean pad flagged: %v", clean)
+	}
+	// Exact-width feature is clean (exclusive rule).
+	exact := RegionFromRects(R(0, 0, 60, 500)).NarrowerThan(60)
+	if !exact.Empty() {
+		t.Fatalf("exact-width flagged: %v", exact)
+	}
+	// One less is caught.
+	thin := RegionFromRects(R(0, 0, 59, 500)).NarrowerThan(60)
+	if thin.Empty() {
+		t.Fatal("59nm line not flagged at w=60")
+	}
+}
+
+func TestGapsNarrowerThan(t *testing.T) {
+	// Two lines 100 apart and two lines 300 apart.
+	rg := RegionFromRects(
+		R(0, 0, 90, 1000),
+		R(190, 0, 280, 1000), // gap 100
+		R(580, 0, 670, 1000), // gap 300 from previous
+	)
+	viol := rg.GapsNarrowerThan(160)
+	if viol.Empty() {
+		t.Fatal("100nm gap not flagged at s=160")
+	}
+	if !viol.Contains(Pt(135, 500)) {
+		t.Fatalf("violation misses the narrow gap: %v", viol)
+	}
+	if viol.Contains(Pt(430, 500)) {
+		t.Fatal("wide gap falsely flagged")
+	}
+	// The outer boundary is not a gap.
+	single := RegionFromRects(R(0, 0, 90, 1000)).GapsNarrowerThan(160)
+	if !single.Empty() {
+		t.Fatalf("outer boundary flagged as gap: %v", single)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	a := RegionFromRects(R(0, 0, 100, 100))
+	b := RegionFromRects(R(10, 10, 90, 90))
+	if !a.Covers(b) {
+		t.Fatal("a must cover b")
+	}
+	if b.Covers(a) {
+		t.Fatal("b must not cover a")
+	}
+	if !a.Covers(nil) {
+		t.Fatal("anything covers empty")
+	}
+}
+
+func TestMorphPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RegionFromRects(R(0, 0, 10, 10)).Expand(-1)
+}
+
+func TestOpeningIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		var rg Region
+		for i := 0; i < 2+rnd.Intn(4); i++ {
+			rg = append(rg, randRect(rnd))
+		}
+		d := Coord(1 + rnd.Intn(15))
+		once := rg.Opening(d)
+		twice := once.Opening(d)
+		// Opening is idempotent.
+		return twice.Area() == once.Area() && twice.Subtract(once).Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNarrowerThanMonotoneProperty(t *testing.T) {
+	// A stricter width rule never flags less area.
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		var rg Region
+		for i := 0; i < 2+rnd.Intn(4); i++ {
+			rg = append(rg, randRect(rnd))
+		}
+		w1 := Coord(5 + rnd.Intn(40))
+		w2 := w1 + Coord(1+rnd.Intn(40))
+		v1 := rg.NarrowerThan(w1)
+		v2 := rg.NarrowerThan(w2)
+		return v2.Area() >= v1.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// lShape returns a rectilinear L-shaped polygon with known area 300+400=700:
+//
+//	(0,0)-(30,0)-(30,10)-(10,10)-(10,30)-(0,30)
+func lShape() Polygon {
+	return Polygon{{0, 0}, {30, 0}, {30, 10}, {10, 10}, {10, 30}, {0, 30}}
+}
+
+func TestPolygonArea(t *testing.T) {
+	sq := R(0, 0, 10, 10).Polygon()
+	if got := sq.Area(); got != 100 {
+		t.Fatalf("square area = %d, want 100", got)
+	}
+	if !sq.IsCCW() {
+		t.Fatal("Rect.Polygon must be CCW")
+	}
+	if got := sq.Reverse().Area(); got != 100 {
+		t.Fatal("area must be orientation independent")
+	}
+	if got := lShape().Area(); got != 500 {
+		t.Fatalf("L area = %d, want 500", got)
+	}
+}
+
+func TestPolygonAreaTranslationInvariant(t *testing.T) {
+	f := func(dx, dy int16) bool {
+		pg := lShape()
+		moved := pg.Translate(Pt(Coord(dx), Coord(dy)))
+		return pg.Area() == moved.Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	pg := lShape()
+	inside := []Point{{5, 5}, {25, 5}, {5, 25}, {9, 9}}
+	outside := []Point{{25, 25}, {11, 11}, {31, 5}, {-1, -1}, {5, 31}}
+	for _, p := range inside {
+		if !pg.Contains(p) {
+			t.Errorf("point %v should be inside", p)
+		}
+	}
+	for _, p := range outside {
+		if pg.Contains(p) {
+			t.Errorf("point %v should be outside", p)
+		}
+	}
+}
+
+func TestPolygonIsRectilinearAndAsRect(t *testing.T) {
+	if !lShape().IsRectilinear() {
+		t.Fatal("L shape is rectilinear")
+	}
+	tri := Polygon{{0, 0}, {10, 0}, {5, 8}}
+	if tri.IsRectilinear() {
+		t.Fatal("triangle is not rectilinear")
+	}
+	if _, ok := tri.AsRect(); ok {
+		t.Fatal("triangle is not a rect")
+	}
+	r, ok := R(2, 3, 9, 8).Polygon().AsRect()
+	if !ok || r != R(2, 3, 9, 8) {
+		t.Fatalf("AsRect = %v, %v", r, ok)
+	}
+	if _, ok := lShape().AsRect(); ok {
+		t.Fatal("L shape is not a rect")
+	}
+}
+
+func TestPolygonPerimeter(t *testing.T) {
+	if got := R(0, 0, 10, 5).Polygon().Perimeter(); got != 30 {
+		t.Fatalf("perimeter = %d, want 30", got)
+	}
+	if got := lShape().Perimeter(); got != 120 {
+		t.Fatalf("L perimeter = %d, want 120", got)
+	}
+}
+
+func TestClipToRectBasic(t *testing.T) {
+	sq := R(0, 0, 20, 20).Polygon()
+	got := sq.ClipToRect(R(10, 10, 30, 30))
+	r, ok := got.AsRect()
+	if !ok || r != R(10, 10, 20, 20) {
+		t.Fatalf("clip = %v", got)
+	}
+	// Fully inside: unchanged area.
+	got = sq.ClipToRect(R(-5, -5, 25, 25))
+	if got.Area() != 400 {
+		t.Fatalf("clip fully-inside area = %d", got.Area())
+	}
+	// Fully outside: empty.
+	if got := sq.ClipToRect(R(100, 100, 120, 120)); len(got) != 0 {
+		t.Fatalf("clip fully-outside = %v", got)
+	}
+}
+
+func TestClipToRectLShape(t *testing.T) {
+	pg := lShape()
+	w := R(5, 5, 40, 40)
+	clipped := pg.ClipToRect(w)
+	// Expected area: L minus the [0,5] strips.
+	// Region arithmetic cross-check:
+	want := RegionFromPolygon(pg).ClipToRect(w).Area()
+	if got := clipped.Area(); got != want {
+		t.Fatalf("clipped area = %d, want %d", got, want)
+	}
+	if !w.ContainsRect(clipped.BBox()) {
+		t.Fatal("clip result must lie within the window")
+	}
+}
+
+func TestClipToRectProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		// Random rectangle polygon and window.
+		r := randRect(rnd)
+		if r.Empty() {
+			return true
+		}
+		w := randRect(rnd)
+		clipped := r.Polygon().ClipToRect(w)
+		wantArea := r.Intersect(w).Area()
+		return clipped.Area() == wantArea
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundDiv(t *testing.T) {
+	cases := []struct{ num, den, want int64 }{
+		{7, 2, 4}, {-7, 2, -4}, {7, -2, -4}, {-7, -2, 4},
+		{6, 2, 3}, {5, 10, 1}, {4, 10, 0}, {-5, 10, -1}, {-4, 10, 0},
+	}
+	for _, c := range cases {
+		if got := roundDiv(c.num, c.den); got != c.want {
+			t.Errorf("roundDiv(%d,%d) = %d, want %d", c.num, c.den, got, c.want)
+		}
+	}
+}
+
+func TestDedupVertices(t *testing.T) {
+	pg := Polygon{{0, 0}, {5, 0}, {10, 0}, {10, 10}, {10, 10}, {0, 10}}
+	got := dedupVertices(pg)
+	if len(got) != 4 {
+		t.Fatalf("dedup = %v, want 4 corners", got)
+	}
+	if got.Area() != 100 {
+		t.Fatalf("dedup area = %d", got.Area())
+	}
+	if dedupVertices(Polygon{{0, 0}, {1, 1}}) != nil {
+		t.Fatal("degenerate polygon must dedup to nil")
+	}
+}

@@ -1,0 +1,145 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRasterDimensions(t *testing.T) {
+	ra := NewRaster(R(0, 0, 100, 50), 10)
+	if ra.Nx != 10 || ra.Ny != 5 {
+		t.Fatalf("dims = %dx%d", ra.Nx, ra.Ny)
+	}
+	// Non-multiple window rounds up.
+	ra = NewRaster(R(0, 0, 95, 41), 10)
+	if ra.Nx != 10 || ra.Ny != 5 {
+		t.Fatalf("rounded dims = %dx%d", ra.Nx, ra.Ny)
+	}
+	if !ra.Bounds().ContainsRect(R(0, 0, 95, 41)) {
+		t.Fatal("raster must cover its window")
+	}
+}
+
+func TestAddRectExactCoverage(t *testing.T) {
+	ra := NewRaster(R(0, 0, 40, 40), 10)
+	ra.AddRect(R(5, 5, 15, 15)) // quarter of four pixels
+	want := map[[2]int]float64{
+		{0, 0}: 0.25, {1, 0}: 0.25, {0, 1}: 0.25, {1, 1}: 0.25,
+	}
+	for k, v := range want {
+		if got := ra.At(k[0], k[1]); math.Abs(got-v) > 1e-12 {
+			t.Errorf("pixel %v = %g, want %g", k, got, v)
+		}
+	}
+	if got := ra.At(2, 2); got != 0 {
+		t.Errorf("far pixel = %g, want 0", got)
+	}
+}
+
+func TestAddRectAreaConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		win := R(0, 0, 200, 200)
+		ra := NewRaster(win, 7) // deliberately non-divisor pitch
+		r := R(Coord(rnd.Intn(150)), Coord(rnd.Intn(150)),
+			Coord(rnd.Intn(150)), Coord(rnd.Intn(150)))
+		ra.AddRect(r)
+		want := float64(r.Intersect(ra.Bounds()).Area())
+		return math.Abs(ra.CoverageArea()-want) < 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRegionDisjointSum(t *testing.T) {
+	ra := NewRaster(R(0, 0, 100, 100), 5)
+	// Overlapping rects through a Region must still cap coverage at 1.
+	rg := RegionFromRects(R(10, 10, 60, 60), R(30, 30, 90, 90))
+	ra.AddRegion(rg)
+	for _, v := range ra.Data {
+		if v > 1+1e-9 {
+			t.Fatalf("coverage exceeded 1: %g", v)
+		}
+	}
+	want := float64(rg.Area())
+	if math.Abs(ra.CoverageArea()-want) > 1e-6*want {
+		t.Fatalf("region coverage area = %g, want %g", ra.CoverageArea(), want)
+	}
+}
+
+func TestAddPolygonRectilinearExact(t *testing.T) {
+	ra := NewRaster(R(0, 0, 40, 40), 4)
+	ra.AddPolygon(lShape())
+	want := float64(lShape().Area())
+	if math.Abs(ra.CoverageArea()-want) > 1e-6*want {
+		t.Fatalf("polygon coverage = %g, want %g", ra.CoverageArea(), want)
+	}
+}
+
+func TestAddPolygonSupersampled(t *testing.T) {
+	// A right triangle covering half of a 40x40 square: supersampled
+	// coverage should land within a few percent of the exact area.
+	tri := Polygon{{0, 0}, {40, 0}, {0, 40}}
+	ra := NewRaster(R(0, 0, 40, 40), 4)
+	ra.AddPolygon(tri)
+	want := 800.0
+	if math.Abs(ra.CoverageArea()-want) > 0.05*want {
+		t.Fatalf("triangle coverage = %g, want ~%g", ra.CoverageArea(), want)
+	}
+}
+
+func TestRasterClampAndAccessors(t *testing.T) {
+	ra := NewRaster(R(0, 0, 10, 10), 10)
+	ra.Set(0, 0, 1.5)
+	ra.Set(-1, 0, 99) // ignored
+	ra.Clamp()
+	if got := ra.At(0, 0); got != 1 {
+		t.Fatalf("clamped = %g", got)
+	}
+	if got := ra.At(-1, 0); got != 0 {
+		t.Fatalf("out of range read = %g", got)
+	}
+	x, y := ra.PixelCenter(0, 0)
+	if x != 5 || y != 5 {
+		t.Fatalf("pixel center = %g,%g", x, y)
+	}
+}
+
+func TestIndexQuery(t *testing.T) {
+	idx := NewIndex[string](R(0, 0, 1000, 1000), 100)
+	idx.Insert(R(10, 10, 50, 50), "a")
+	idx.Insert(R(400, 400, 600, 600), "b")
+	idx.Insert(R(0, 0, 1000, 1000), "chip")
+	got := idx.QueryAll(R(20, 20, 30, 30))
+	if len(got) != 2 { // "a" and "chip"
+		t.Fatalf("query = %v", got)
+	}
+	got = idx.QueryAll(R(700, 700, 800, 800))
+	if len(got) != 1 || got[0] != "chip" {
+		t.Fatalf("query = %v", got)
+	}
+	if idx.Len() != 3 {
+		t.Fatalf("len = %d", idx.Len())
+	}
+	// Early termination.
+	count := 0
+	idx.Query(R(0, 0, 1000, 1000), func(_ Rect, _ string) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestIndexOutOfBoundsInsert(t *testing.T) {
+	idx := NewIndex[int](R(0, 0, 100, 100), 10)
+	idx.Insert(R(-50, -50, -10, -10), 1) // clamped into border bin
+	got := idx.QueryAll(R(-100, -100, 0, 0))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("out-of-bounds item lost: %v", got)
+	}
+}

@@ -1,0 +1,156 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNormalizes(t *testing.T) {
+	r := R(10, 20, 5, 2)
+	want := Rect{5, 2, 10, 20}
+	if r != want {
+		t.Fatalf("R(10,20,5,2) = %v, want %v", r, want)
+	}
+}
+
+func TestRectEmptyAndArea(t *testing.T) {
+	cases := []struct {
+		r     Rect
+		empty bool
+		area  int64
+	}{
+		{Rect{}, true, 0},
+		{Rect{0, 0, 10, 10}, false, 100},
+		{Rect{5, 5, 5, 10}, true, 0},
+		{Rect{-10, -10, 10, 10}, false, 400},
+		{Rect{3, 3, 2, 4}, true, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Empty(); got != c.empty {
+			t.Errorf("%v.Empty() = %v, want %v", c.r, got, c.empty)
+		}
+		if got := c.r.Area(); got != c.area {
+			t.Errorf("%v.Area() = %d, want %d", c.r, got, c.area)
+		}
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	got := a.Intersect(b)
+	want := Rect{5, 5, 10, 10}
+	if got != want {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("Intersects should be true")
+	}
+	c := Rect{10, 0, 20, 10} // abutting, no interior overlap
+	if a.Intersects(c) {
+		t.Fatal("abutting rects must not report interior intersection")
+	}
+	if !a.Intersect(c).Empty() {
+		t.Fatal("abutting rects intersect to empty")
+	}
+}
+
+func TestRectUnionContains(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	b := Rect{10, 10, 12, 12}
+	u := a.Union(b)
+	if !u.ContainsRect(a) || !u.ContainsRect(b) {
+		t.Fatalf("union %v must contain both operands", u)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Fatalf("union with empty = %v, want %v", got, a)
+	}
+	if !a.Contains(Pt(0, 0)) || !a.Contains(Pt(4, 4)) {
+		t.Fatal("closed-edge containment failed")
+	}
+	if a.Contains(Pt(5, 2)) {
+		t.Fatal("point outside reported inside")
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	a := Rect{10, 10, 20, 20}
+	if got := a.Expand(5); got != (Rect{5, 5, 25, 25}) {
+		t.Fatalf("Expand(5) = %v", got)
+	}
+	if got := a.Expand(-5); !got.Empty() {
+		t.Fatalf("Expand(-5) should collapse to empty, got %v", got)
+	}
+	if got := a.Expand(-3); got != (Rect{13, 13, 17, 17}) {
+		t.Fatalf("Expand(-3) = %v", got)
+	}
+}
+
+func TestRectTranslateAndCenter(t *testing.T) {
+	a := Rect{0, 0, 10, 6}
+	if got := a.Translate(Pt(100, -50)); got != (Rect{100, -50, 110, -44}) {
+		t.Fatalf("Translate = %v", got)
+	}
+	if got := a.Center(); got != Pt(5, 3) {
+		t.Fatalf("Center = %v", got)
+	}
+}
+
+// randRect produces small random rects for property tests.
+func randRect(rnd *rand.Rand) Rect {
+	x0 := Coord(rnd.Intn(200) - 100)
+	y0 := Coord(rnd.Intn(200) - 100)
+	return Rect{x0, y0, x0 + Coord(rnd.Intn(100)), y0 + Coord(rnd.Intn(100))}
+}
+
+func TestRectIntersectionProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		a, b := randRect(rnd), randRect(rnd)
+		c := a.Intersect(b)
+		// Intersection is commutative and contained in both operands.
+		if c != b.Intersect(a) {
+			return false
+		}
+		if !c.Empty() && (!a.ContainsRect(c) || !b.ContainsRect(c)) {
+			return false
+		}
+		// Intersection area never exceeds either operand.
+		if c.Area() > a.Area() || c.Area() > b.Area() {
+			return false
+		}
+		// Union bounding box contains both.
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBBoxOf(t *testing.T) {
+	if got := BBoxOf(nil); !got.Empty() {
+		t.Fatalf("BBoxOf(nil) = %v, want empty", got)
+	}
+	pts := []Point{{3, 4}, {-1, 10}, {7, -2}}
+	if got := BBoxOf(pts); got != (Rect{-1, -2, 7, 10}) {
+		t.Fatalf("BBoxOf = %v", got)
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	p, q := Pt(3, 4), Pt(-1, 2)
+	if p.Add(q) != Pt(2, 6) {
+		t.Fatal("Add")
+	}
+	if p.Sub(q) != Pt(4, 2) {
+		t.Fatal("Sub")
+	}
+	if p.Scale(3) != Pt(9, 12) {
+		t.Fatal("Scale")
+	}
+	if p.Manhattan(q) != 6 {
+		t.Fatal("Manhattan")
+	}
+}

@@ -1,0 +1,143 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionNormalizeDisjointArea(t *testing.T) {
+	// Two overlapping rects: union area must count overlap once.
+	rg := RegionFromRects(R(0, 0, 10, 10), R(5, 5, 15, 15))
+	if got := rg.Area(); got != 175 {
+		t.Fatalf("area = %d, want 175", got)
+	}
+	n := rg.Normalize()
+	// Normalized rects must be pairwise disjoint.
+	for i := range n {
+		for j := i + 1; j < len(n); j++ {
+			if n[i].Intersects(n[j]) {
+				t.Fatalf("normalized rects overlap: %v %v", n[i], n[j])
+			}
+		}
+	}
+	// Idempotence.
+	if got := n.Normalize().Area(); got != 175 {
+		t.Fatalf("normalize not idempotent: %d", got)
+	}
+}
+
+func TestRegionNormalizeCoalesces(t *testing.T) {
+	// Two stacked rects with the same x-interval must merge into one.
+	rg := RegionFromRects(R(0, 0, 10, 5), R(0, 5, 10, 10))
+	n := rg.Normalize()
+	if len(n) != 1 || n[0] != R(0, 0, 10, 10) {
+		t.Fatalf("coalesce = %v", n)
+	}
+}
+
+func TestRegionFromPolygon(t *testing.T) {
+	rg := RegionFromPolygon(lShape())
+	if rg == nil {
+		t.Fatal("decomposition failed")
+	}
+	if got := rg.Area(); got != 500 {
+		t.Fatalf("region area = %d, want 500", got)
+	}
+	// Non-rectilinear returns nil.
+	if RegionFromPolygon(Polygon{{0, 0}, {10, 0}, {5, 8}}) != nil {
+		t.Fatal("non-rectilinear decomposition must return nil")
+	}
+	// Point sampling agreement.
+	pg := lShape()
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		p := Pt(Coord(rnd.Intn(35)), Coord(rnd.Intn(35)))
+		// Skip points on grid lines of the polygon edges where membership
+		// conventions differ.
+		if p.X%10 == 0 || p.Y%10 == 0 {
+			continue
+		}
+		if pg.Contains(p) != rg.Contains(p) {
+			t.Fatalf("membership mismatch at %v", p)
+		}
+	}
+}
+
+func TestRegionBooleans(t *testing.T) {
+	a := RegionFromRects(R(0, 0, 20, 20))
+	b := RegionFromRects(R(10, 10, 30, 30))
+	if got := a.Intersect(b).Area(); got != 100 {
+		t.Fatalf("intersect area = %d, want 100", got)
+	}
+	if got := a.Union(b).Area(); got != 700 {
+		t.Fatalf("union area = %d, want 700", got)
+	}
+	if got := a.Subtract(b).Area(); got != 300 {
+		t.Fatalf("subtract area = %d, want 300", got)
+	}
+	// A - A = empty.
+	if got := a.Subtract(a); !got.Empty() {
+		t.Fatalf("self-subtract = %v", got)
+	}
+	// Disjoint intersect = empty.
+	c := RegionFromRects(R(100, 100, 110, 110))
+	if got := a.Intersect(c); !got.Empty() {
+		t.Fatalf("disjoint intersect = %v", got)
+	}
+}
+
+func TestRegionInclusionExclusion(t *testing.T) {
+	// |A ∪ B| = |A| + |B| - |A ∩ B| for random rect pairs.
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		a := RegionFromRects(randRect(rnd), randRect(rnd))
+		b := RegionFromRects(randRect(rnd))
+		union := a.Union(b).Area()
+		inter := a.Intersect(b).Area()
+		return union == a.Area()+b.Area()-inter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionSubtractProperty(t *testing.T) {
+	// |A - B| = |A| - |A ∩ B|.
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		a := RegionFromRects(randRect(rnd), randRect(rnd))
+		b := RegionFromRects(randRect(rnd), randRect(rnd))
+		return a.Subtract(b).Area() == a.Area()-a.Intersect(b).Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionClipToRect(t *testing.T) {
+	rg := RegionFromPolygon(lShape())
+	w := R(5, 5, 12, 40)
+	clipped := rg.ClipToRect(w)
+	if !w.ContainsRect(clipped.BBox()) {
+		t.Fatal("clip escaped window")
+	}
+	want := rg.Intersect(RegionFromRects(w)).Area()
+	if got := clipped.Area(); got != want {
+		t.Fatalf("clip area = %d, want %d", got, want)
+	}
+}
+
+func TestRegionEmptyAndBBox(t *testing.T) {
+	var rg Region
+	if !rg.Empty() {
+		t.Fatal("nil region is empty")
+	}
+	if !rg.BBox().Empty() {
+		t.Fatal("nil region bbox is empty")
+	}
+	rg = RegionFromRects(R(1, 2, 3, 4), R(10, 2, 11, 9))
+	if rg.BBox() != (Rect{1, 2, 11, 9}) {
+		t.Fatalf("bbox = %v", rg.BBox())
+	}
+}

@@ -1,0 +1,131 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"postopc/internal/geom"
+)
+
+// SVG rendering of layout windows: the visualization used by the CLIs and
+// examples to show drawn layers, OPC-corrected masks and printed contours
+// in one picture. The y axis is flipped so layout +y points up.
+
+// SVGStyle maps layers to fill colors (with opacity baked in).
+var svgLayerStyle = map[Layer]string{
+	LayerNWell:     "fill:#f2e8c9;fill-opacity:0.6",
+	LayerDiffusion: "fill:#3f9b41;fill-opacity:0.65",
+	LayerPoly:      "fill:#d04a3a;fill-opacity:0.75",
+	LayerContact:   "fill:#222222;fill-opacity:0.9",
+	LayerMetal1:    "fill:#3a6fd0;fill-opacity:0.45",
+	LayerVia1:      "fill:#111166;fill-opacity:0.9",
+	LayerMetal2:    "fill:#9b3fd0;fill-opacity:0.40",
+}
+
+// SVGOverlay is extra geometry drawn on top of the layer stack (corrected
+// mask outlines, printed contours, gate channel markers...).
+type SVGOverlay struct {
+	// Polys are drawn as outlines.
+	Polys []geom.Polygon
+	// Style is the SVG style attribute, e.g. "fill:none;stroke:#000".
+	Style string
+}
+
+// SVGWriter accumulates a drawing of one layout window.
+type SVGWriter struct {
+	window   geom.Rect
+	scale    float64 // SVG units per nm
+	body     []string
+	layers   []Layer
+	overlays []SVGOverlay
+	shapes   map[Layer][]geom.Rect
+}
+
+// NewSVG starts a drawing of the given window; widthPX sets the output
+// image width in pixels.
+func NewSVG(window geom.Rect, widthPX int) *SVGWriter {
+	if widthPX <= 0 {
+		widthPX = 800
+	}
+	return &SVGWriter{
+		window: window,
+		scale:  float64(widthPX) / float64(window.W()),
+		shapes: map[Layer][]geom.Rect{},
+	}
+}
+
+// AddChip draws the chip's geometry inside the window, layer by layer.
+func (s *SVGWriter) AddChip(ch *Chip, layers ...Layer) {
+	if len(layers) == 0 {
+		layers = []Layer{LayerNWell, LayerDiffusion, LayerPoly, LayerContact, LayerMetal1}
+	}
+	for _, l := range layers {
+		s.AddRects(l, ch.WindowShapes(l, s.window))
+	}
+}
+
+// AddRects draws rectangles on a layer.
+func (s *SVGWriter) AddRects(l Layer, rects []geom.Rect) {
+	if len(rects) == 0 {
+		return
+	}
+	if s.shapes[l] == nil {
+		s.layers = append(s.layers, l)
+	}
+	s.shapes[l] = append(s.shapes[l], rects...)
+}
+
+// AddOverlay draws polygon outlines above the layer stack.
+func (s *SVGWriter) AddOverlay(polys []geom.Polygon, style string) {
+	s.overlays = append(s.overlays, SVGOverlay{Polys: polys, Style: style})
+}
+
+// x/y map layout nm to SVG coordinates (y flipped).
+func (s *SVGWriter) x(v geom.Coord) float64 { return float64(v-s.window.X0) * s.scale }
+func (s *SVGWriter) y(v geom.Coord) float64 { return float64(s.window.Y1-v) * s.scale }
+
+// Write emits the SVG document.
+func (s *SVGWriter) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	wpx := float64(s.window.W()) * s.scale
+	hpx := float64(s.window.H()) * s.scale
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		wpx, hpx, wpx, hpx)
+	fmt.Fprintf(bw, `<rect width="%.0f" height="%.0f" fill="#fafafa"/>`+"\n", wpx, hpx)
+	for _, l := range s.layers {
+		style := svgLayerStyle[l]
+		if style == "" {
+			style = "fill:#888888;fill-opacity:0.5"
+		}
+		fmt.Fprintf(bw, `<g style="%s">`+"\n", style)
+		for _, r := range s.shapes[l] {
+			rc := r.Intersect(s.window)
+			if rc.Empty() {
+				continue
+			}
+			fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f"/>`+"\n",
+				s.x(rc.X0), s.y(rc.Y1), float64(rc.W())*s.scale, float64(rc.H())*s.scale)
+		}
+		fmt.Fprintln(bw, "</g>")
+	}
+	for _, ov := range s.overlays {
+		fmt.Fprintf(bw, `<g style="%s">`+"\n", ov.Style)
+		for _, pg := range ov.Polys {
+			if len(pg) < 2 {
+				continue
+			}
+			fmt.Fprint(bw, `<polygon points="`)
+			for i, p := range pg {
+				if i > 0 {
+					fmt.Fprint(bw, " ")
+				}
+				fmt.Fprintf(bw, "%.2f,%.2f", s.x(p.X), s.y(p.Y))
+			}
+			fmt.Fprintln(bw, `"/>`)
+		}
+		fmt.Fprintln(bw, "</g>")
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}

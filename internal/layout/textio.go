@@ -1,0 +1,255 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"postopc/internal/geom"
+)
+
+// This file implements the plain-text layout format (".plf"), the
+// repository's interchange format for cells and placed chips — a GDS
+// stand-in that stays greppable:
+//
+//	plf 1
+//	cell INV_X1 box 0 0 680 2600
+//	  rect poly 295 290 385 2310
+//	  gate MN0_0 A nmos 295 400 385 900
+//	endcell
+//	chip adder die 0 0 50000 26000
+//	  inst u1 INV_X1 0 0 R0
+//	  inst u2 NAND2_X1 680 0 MX
+//	endchip
+//
+// Coordinates are integer nanometres. A file holds any number of cells
+// followed by at most one chip; chip instances refer to cells defined
+// earlier in the same file.
+
+// WriteChip serializes the chip and every cell it references.
+func WriteChip(w io.Writer, ch *Chip) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "plf 1")
+	// Unique masters, by name.
+	masters := map[string]*Cell{}
+	for i := range ch.Instances {
+		masters[ch.Instances[i].Cell.Name] = ch.Instances[i].Cell
+	}
+	names := make([]string, 0, len(masters))
+	for n := range masters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writeCell(bw, masters[n])
+	}
+	d := ch.Die
+	fmt.Fprintf(bw, "chip %s die %d %d %d %d\n", nameOr(ch.Name, "chip"), d.X0, d.Y0, d.X1, d.Y1)
+	for i := range ch.Instances {
+		in := &ch.Instances[i]
+		o := "R0"
+		if in.Orient == MX {
+			o = "MX"
+		}
+		fmt.Fprintf(bw, "  inst %s %s %d %d %s\n", in.Name, in.Cell.Name, in.Origin.X, in.Origin.Y, o)
+	}
+	fmt.Fprintln(bw, "endchip")
+	return bw.Flush()
+}
+
+// WriteCell serializes a single cell.
+func WriteCell(w io.Writer, c *Cell) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "plf 1")
+	writeCell(bw, c)
+	return bw.Flush()
+}
+
+func writeCell(bw *bufio.Writer, c *Cell) {
+	b := c.Box
+	fmt.Fprintf(bw, "cell %s box %d %d %d %d\n", c.Name, b.X0, b.Y0, b.X1, b.Y1)
+	for _, s := range c.Shapes {
+		r := s.Rect
+		fmt.Fprintf(bw, "  rect %s %d %d %d %d\n", s.Layer, r.X0, r.Y0, r.X1, r.Y1)
+	}
+	for _, g := range c.Gates {
+		r := g.Channel
+		fmt.Fprintf(bw, "  gate %s %s %s %d %d %d %d\n", g.Name, g.Pin, g.Kind, r.X0, r.Y0, r.X1, r.Y1)
+	}
+	fmt.Fprintln(bw, "endcell")
+}
+
+func nameOr(n, def string) string {
+	if n == "" {
+		return def
+	}
+	return n
+}
+
+// File is the parsed content of a .plf stream.
+type File struct {
+	// Cells in declaration order.
+	Cells []*Cell
+	// Chip is non-nil when the file contains a chip section.
+	Chip *Chip
+}
+
+// Read parses a .plf stream.
+func Read(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	f := &File{}
+	byName := map[string]*Cell{}
+	var curCell *Cell
+	var curChip *Chip
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		bad := func(msg string) error {
+			return fmt.Errorf("layout: line %d: %s", lineNo, msg)
+		}
+		switch fields[0] {
+		case "plf":
+			if len(fields) != 2 || fields[1] != "1" {
+				return nil, bad("unsupported plf version")
+			}
+		case "cell":
+			if curCell != nil || curChip != nil {
+				return nil, bad("nested cell")
+			}
+			if len(fields) != 7 || fields[2] != "box" {
+				return nil, bad("malformed cell header")
+			}
+			box, err := parseRect(fields[3:7])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			curCell = &Cell{Name: fields[1], Box: box}
+		case "rect":
+			if curCell == nil {
+				return nil, bad("rect outside cell")
+			}
+			if len(fields) != 6 {
+				return nil, bad("malformed rect")
+			}
+			layer, err := ParseLayer(fields[1])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			rc, err := parseRect(fields[2:6])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			curCell.Shapes = append(curCell.Shapes, Shape{Layer: layer, Rect: rc})
+		case "gate":
+			if curCell == nil {
+				return nil, bad("gate outside cell")
+			}
+			if len(fields) != 8 {
+				return nil, bad("malformed gate")
+			}
+			var kind DeviceKind
+			switch fields[3] {
+			case "nmos":
+				kind = NMOS
+			case "pmos":
+				kind = PMOS
+			default:
+				return nil, bad("unknown device kind " + fields[3])
+			}
+			rc, err := parseRect(fields[4:8])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			curCell.Gates = append(curCell.Gates, GateSite{
+				Name: fields[1], Pin: fields[2], Kind: kind, Channel: rc,
+			})
+		case "endcell":
+			if curCell == nil {
+				return nil, bad("endcell outside cell")
+			}
+			if _, dup := byName[curCell.Name]; dup {
+				return nil, bad("duplicate cell " + curCell.Name)
+			}
+			byName[curCell.Name] = curCell
+			f.Cells = append(f.Cells, curCell)
+			curCell = nil
+		case "chip":
+			if curCell != nil || curChip != nil {
+				return nil, bad("unexpected chip")
+			}
+			if len(fields) != 7 || fields[2] != "die" {
+				return nil, bad("malformed chip header")
+			}
+			die, err := parseRect(fields[3:7])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			curChip = &Chip{Name: fields[1], Die: die}
+		case "inst":
+			if curChip == nil {
+				return nil, bad("inst outside chip")
+			}
+			if len(fields) != 6 {
+				return nil, bad("malformed inst")
+			}
+			master, ok := byName[fields[2]]
+			if !ok {
+				return nil, bad("unknown cell " + fields[2])
+			}
+			x, err1 := strconv.ParseInt(fields[3], 10, 64)
+			y, err2 := strconv.ParseInt(fields[4], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, bad("bad instance origin")
+			}
+			var o Orient
+			switch fields[5] {
+			case "R0":
+				o = R0
+			case "MX":
+				o = MX
+			default:
+				return nil, bad("unknown orientation " + fields[5])
+			}
+			curChip.AddInstance(fields[1], master, geom.Pt(x, y), o)
+		case "endchip":
+			if curChip == nil {
+				return nil, bad("endchip outside chip")
+			}
+			curChip.BuildIndex()
+			f.Chip = curChip
+			curChip = nil
+		default:
+			return nil, bad("unknown directive " + fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if curCell != nil {
+		return nil, fmt.Errorf("layout: unterminated cell %s", curCell.Name)
+	}
+	if curChip != nil {
+		return nil, fmt.Errorf("layout: unterminated chip %s", curChip.Name)
+	}
+	return f, nil
+}
+
+func parseRect(fields []string) (geom.Rect, error) {
+	var v [4]int64
+	for i, s := range fields {
+		x, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return geom.Rect{}, fmt.Errorf("bad coordinate %q", s)
+		}
+		v[i] = x
+	}
+	return geom.R(v[0], v[1], v[2], v[3]), nil
+}

@@ -1,0 +1,154 @@
+package litho
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"postopc/internal/dsp"
+	"postopc/internal/geom"
+)
+
+// Abbe is the physical aerial-image model: partially coherent imaging
+// computed by Abbe's method (source-point summation). For every sampled
+// source point the mask spectrum is filtered by the (defocused) pupil
+// shifted by the source tilt, inverse transformed, and the resulting
+// coherent intensities are weight-summed.
+type Abbe struct {
+	recipe Recipe
+	source []SourcePoint
+}
+
+// NewAbbe builds an Abbe model from the recipe.
+func NewAbbe(r Recipe) (*Abbe, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &Abbe{
+		recipe: r,
+		source: SampleSource(r.SigmaInner, r.SigmaOuter, r.SourceRings),
+	}, nil
+}
+
+// Recipe returns the optical settings.
+func (a *Abbe) Recipe() Recipe { return a.recipe }
+
+// SourcePoints exposes the sampled source (for ablation studies).
+func (a *Abbe) SourcePoints() []SourcePoint { return a.source }
+
+// Aerial implements Model.
+func (a *Abbe) Aerial(mask *geom.Raster, c Corner) (*Image, error) {
+	imgs, err := a.AerialSeries(mask, []Corner{c})
+	if err != nil {
+		return nil, err
+	}
+	return imgs[0], nil
+}
+
+// AerialSeries computes aerial images for several process corners while
+// reusing the (expensive) mask spectrum. Dose does not change the image —
+// it is folded into the resist threshold — so corners differing only in
+// dose share one simulation.
+func (a *Abbe) AerialSeries(mask *geom.Raster, corners []Corner) ([]*Image, error) {
+	if mask.Nx == 0 || mask.Ny == 0 {
+		return nil, fmt.Errorf("litho: empty mask raster")
+	}
+	nx := dsp.NextPow2(mask.Nx)
+	ny := dsp.NextPow2(mask.Ny)
+	// Transmission grid, padded with clear-field background.
+	bg := 1.0 // ClearField: open background
+	if a.recipe.Polarity == DarkField {
+		bg = 0
+	}
+	t := dsp.NewGrid(nx, ny)
+	for i := range t.Data {
+		t.Data[i] = complex(bg, 0)
+	}
+	for iy := 0; iy < mask.Ny; iy++ {
+		for ix := 0; ix < mask.Nx; ix++ {
+			cov := mask.Data[iy*mask.Nx+ix]
+			var tv float64
+			if a.recipe.Polarity == ClearField {
+				tv = 1 - cov // chrome blocks light
+			} else {
+				tv = cov // opening passes light
+			}
+			t.Set(ix, iy, complex(tv, 0))
+		}
+	}
+	if err := t.FFT2D(); err != nil {
+		return nil, err
+	}
+
+	// Unique defocus values across the corners.
+	type defocusKey struct{ z float64 }
+	uniq := map[defocusKey]*Image{}
+	order := make([]*Image, len(corners))
+	for ci, c := range corners {
+		k := defocusKey{c.DefocusNM}
+		if im, ok := uniq[k]; ok {
+			order[ci] = im
+			continue
+		}
+		im, err := a.aerialAtDefocus(t, mask, c.DefocusNM)
+		if err != nil {
+			return nil, err
+		}
+		uniq[k] = im
+		order[ci] = im
+	}
+	return order, nil
+}
+
+// aerialAtDefocus runs the source-point sum for one defocus value. spectrum
+// is the FFT of the transmission grid and must not be modified.
+func (a *Abbe) aerialAtDefocus(spectrum *dsp.Grid, mask *geom.Raster, defocusNM float64) (*Image, error) {
+	r := a.recipe
+	nx, ny := spectrum.Nx, spectrum.Ny
+	px := float64(mask.Pixel)
+	fmax := r.NA / r.WavelengthNM   // pupil cutoff, cycles/nm
+	dfx := 1.0 / (float64(nx) * px) // frequency steps, cycles/nm
+	dfy := 1.0 / (float64(ny) * px)
+	lambda := r.WavelengthNM
+
+	acc := make([]float64, nx*ny)
+	work := dsp.NewGrid(nx, ny)
+	for _, sp := range a.source {
+		fsx := sp.SX * fmax
+		fsy := sp.SY * fmax
+		// work = spectrum × P(f + fs)
+		for iy := 0; iy < ny; iy++ {
+			fy := float64(dsp.FreqIndex(iy, ny))*dfy + fsy
+			for ix := 0; ix < nx; ix++ {
+				fx := float64(dsp.FreqIndex(ix, nx))*dfx + fsx
+				f2 := fx*fx + fy*fy
+				idx := iy*nx + ix
+				if f2 > fmax*fmax {
+					work.Data[idx] = 0
+					continue
+				}
+				v := spectrum.Data[idx]
+				if defocusNM != 0 {
+					// Paraxial defocus aberration: φ = π λ z |f|².
+					ph := math.Pi * lambda * defocusNM * f2
+					v *= cmplx.Exp(complex(0, ph))
+				}
+				work.Data[idx] = v
+			}
+		}
+		if err := work.IFFT2D(); err != nil {
+			return nil, err
+		}
+		w := sp.Weight
+		for i, e := range work.Data {
+			re, im := real(e), imag(e)
+			acc[i] += w * (re*re + im*im)
+		}
+	}
+
+	out := NewImage(mask)
+	for iy := 0; iy < mask.Ny; iy++ {
+		copy(out.Data[iy*mask.Nx:(iy+1)*mask.Nx], acc[iy*nx:iy*nx+mask.Nx])
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package litho
+
+import (
+	"fmt"
+
+	"postopc/internal/geom"
+)
+
+// CalibrateThreshold anchors the constant-threshold resist model: it finds
+// the threshold at which a reference line of the given drawn width, in an
+// array at the given pitch, prints at exactly its drawn CD under nominal
+// conditions. Real fabs anchor their resist models the same way (dose-to-
+// size on a reference structure).
+//
+// The search bisects on the monotone relationship between threshold and the
+// printed CD of a clear-field line: raising the threshold widens the
+// printed (sub-threshold) region.
+func CalibrateThreshold(m Model, widthNM, pitchNM geom.Coord) (float64, error) {
+	r := m.Recipe()
+	la := LineArray{WidthNM: widthNM, PitchNM: pitchNM, Count: 7, LengthNM: widthNM * 20}
+	mask := RasterizeRects(la.Rects(), r.PixelNM, r.GuardNM)
+	im, err := m.Aerial(mask, Nominal)
+	if err != nil {
+		return 0, err
+	}
+	centers := la.CenterXs()
+	mid := centers[len(centers)/2]
+	scanHalf := float64(pitchNM) / 2
+	measure := func(th float64) (float64, bool) {
+		res := im.MeasureCD(AxisX, 0, mid-scanHalf, mid+scanHalf, mid, th, r.Polarity)
+		return res.CD, res.OK
+	}
+	target := float64(widthNM)
+	lo, hi := 0.02, 0.9
+	for iter := 0; iter < 60; iter++ {
+		th := (lo + hi) / 2
+		cd, ok := measure(th)
+		tooThin := !ok || cd < target
+		if r.Polarity == ClearField {
+			// Clear field: raising the threshold widens the printed
+			// (sub-threshold) feature.
+			if tooThin {
+				lo = th
+			} else {
+				hi = th
+			}
+		} else {
+			// Dark field: raising the threshold shrinks the printed
+			// (above-threshold) feature.
+			if tooThin {
+				hi = th
+			} else {
+				lo = th
+			}
+		}
+	}
+	th := (lo + hi) / 2
+	cd, ok := measure(th)
+	if !ok {
+		return 0, fmt.Errorf("litho: calibration failed — %dnm line does not print", widthNM)
+	}
+	if d := cd - target; d > 2 || d < -2 {
+		return 0, fmt.Errorf("litho: calibration did not converge (printed %.1fnm for drawn %dnm)", cd, widthNM)
+	}
+	return th, nil
+}

@@ -1,0 +1,162 @@
+package litho
+
+import (
+	"math"
+	"sort"
+)
+
+// Axis selects the direction of a CD scan.
+type Axis int
+
+const (
+	// AxisX scans along x (measures the width of a vertical feature).
+	AxisX Axis = iota
+	// AxisY scans along y (measures the height of a horizontal feature).
+	AxisY
+)
+
+// Crossings returns the positions (in nm, along the scan axis) where the
+// image intensity crosses the threshold on the scan line. For AxisX the
+// scan line is y = fixed and positions are x coordinates; for AxisY the
+// scan line is x = fixed. Positions are sub-pixel, found by sampling at a
+// quarter-pixel step and linearly interpolating each sign change.
+func (im *Image) Crossings(axis Axis, fixed, lo, hi, threshold float64) []float64 {
+	if hi <= lo {
+		return nil
+	}
+	step := float64(im.Pixel) / 4
+	sample := func(t float64) float64 {
+		if axis == AxisX {
+			return im.Sample(t, fixed)
+		}
+		return im.Sample(fixed, t)
+	}
+	var out []float64
+	prevT := lo
+	prevV := sample(lo) - threshold
+	for t := lo + step; t <= hi+step/2; t += step {
+		if t > hi {
+			t = hi
+		}
+		v := sample(t) - threshold
+		if (prevV < 0 && v >= 0) || (prevV >= 0 && v < 0) {
+			// Linear interpolation of the crossing.
+			den := v - prevV
+			var x float64
+			if den == 0 {
+				x = t
+			} else {
+				x = prevT - prevV*(t-prevT)/den
+			}
+			out = append(out, x)
+		}
+		prevT, prevV = t, v
+		if t == hi {
+			break
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// CDResult is one critical-dimension measurement: the printed extent of a
+// feature along a scan line.
+type CDResult struct {
+	// CD is the printed dimension in nm (0 when the feature failed to
+	// print or vanished at this scan).
+	CD float64
+	// Lo, Hi are the printed edge positions along the scan axis.
+	Lo, Hi float64
+	// OK reports whether a printed interval containing the probe point was
+	// found.
+	OK bool
+}
+
+// MeasureCD measures the printed dimension of the feature containing
+// position `at` (along the scan axis) on the scan line. For ClearField
+// polarity the feature is the interval where intensity < threshold.
+//
+// axis/fixed/lo/hi define the scan line exactly as in Crossings.
+func (im *Image) MeasureCD(axis Axis, fixed, lo, hi, at, threshold float64, pol Polarity) CDResult {
+	cross := im.Crossings(axis, fixed, lo, hi, threshold)
+	sample := func(t float64) float64 {
+		if axis == AxisX {
+			return im.Sample(t, fixed)
+		}
+		return im.Sample(fixed, t)
+	}
+	printed := func(t float64) bool {
+		if pol == ClearField {
+			return sample(t) < threshold
+		}
+		return sample(t) > threshold
+	}
+	if !printed(at) {
+		return CDResult{}
+	}
+	// Bracket `at` between adjacent crossings (or the scan ends).
+	loEdge, hiEdge := lo, hi
+	for _, c := range cross {
+		if c <= at && c > loEdge {
+			loEdge = c
+		}
+		if c > at && c < hiEdge {
+			hiEdge = c
+		}
+	}
+	if loEdge == lo && hiEdge == hi && len(cross) > 0 {
+		// The probe point lies outside every crossing pair; treat the whole
+		// scan as the feature only when no crossing brackets exist at all.
+		for _, c := range cross {
+			if c > at {
+				hiEdge = math.Min(hiEdge, c)
+			} else {
+				loEdge = math.Max(loEdge, c)
+			}
+		}
+	}
+	return CDResult{CD: hiEdge - loEdge, Lo: loEdge, Hi: hiEdge, OK: true}
+}
+
+// CDStats summarizes a set of CD measurements.
+type CDStats struct {
+	N          int
+	Mean, Std  float64
+	Min, Max   float64
+	MeanAbsErr float64 // vs. a per-sample target, when provided
+}
+
+// SummarizeCDs computes statistics over measured CDs; target may be nil or
+// per-sample drawn CDs for error accounting.
+func SummarizeCDs(cds []float64, target []float64) CDStats {
+	st := CDStats{N: len(cds)}
+	if len(cds) == 0 {
+		return st
+	}
+	st.Min, st.Max = cds[0], cds[0]
+	var sum float64
+	for _, v := range cds {
+		sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = sum / float64(len(cds))
+	var ss float64
+	for _, v := range cds {
+		d := v - st.Mean
+		ss += d * d
+	}
+	st.Std = math.Sqrt(ss / float64(len(cds)))
+	if len(target) == len(cds) {
+		var ae float64
+		for i, v := range cds {
+			ae += math.Abs(v - target[i])
+		}
+		st.MeanAbsErr = ae / float64(len(cds))
+	}
+	return st
+}

@@ -1,0 +1,194 @@
+package litho
+
+import (
+	"math"
+
+	"postopc/internal/geom"
+)
+
+// Contours extracts the printed-feature outlines at the given threshold as
+// closed polygons in layout nanometres, using marching squares with linear
+// edge interpolation. For ClearField polarity the inside of a contour is
+// the printed (dark) feature.
+//
+// Vertices are rounded to integer nm; printed contours are therefore
+// general (non-rectilinear) geom.Polygons.
+func (im *Image) Contours(threshold float64, pol Polarity) []geom.Polygon {
+	// Work with "level set" values where inside > 0.
+	val := func(ix, iy int) float64 {
+		v := im.At(ix, iy)
+		if pol == ClearField {
+			return threshold - v
+		}
+		return v - threshold
+	}
+
+	type fpoint struct{ x, y float64 }
+	// Segments keyed by quantized start point for stitching.
+	segs := make(map[[2]int64][]fpoint) // start -> list of ends
+	quant := func(p fpoint) [2]int64 {
+		return [2]int64{int64(math.Round(p.x * 64)), int64(math.Round(p.y * 64))}
+	}
+	addSeg := func(a, b fpoint) {
+		segs[quant(a)] = append(segs[quant(a)], b)
+	}
+
+	// Pixel-center coordinates.
+	cx := func(ix int) float64 { return float64(im.Origin.X) + (float64(ix)+0.5)*float64(im.Pixel) }
+	cy := func(iy int) float64 { return float64(im.Origin.Y) + (float64(iy)+0.5)*float64(im.Pixel) }
+	interp := func(x0, y0, v0, x1, y1, v1 float64) fpoint {
+		den := v1 - v0
+		t := 0.5
+		if den != 0 {
+			t = -v0 / den
+		}
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+		return fpoint{x0 + t*(x1-x0), y0 + t*(y1-y0)}
+	}
+
+	// March over cells between pixel centers. Boundary cells use the
+	// clear-field value outside the image (At handles it).
+	for iy := -1; iy < im.Ny; iy++ {
+		for ix := -1; ix < im.Nx; ix++ {
+			v00 := val(ix, iy)     // lower-left
+			v10 := val(ix+1, iy)   // lower-right
+			v11 := val(ix+1, iy+1) // upper-right
+			v01 := val(ix, iy+1)   // upper-left
+			idx := 0
+			if v00 > 0 {
+				idx |= 1
+			}
+			if v10 > 0 {
+				idx |= 2
+			}
+			if v11 > 0 {
+				idx |= 4
+			}
+			if v01 > 0 {
+				idx |= 8
+			}
+			if idx == 0 || idx == 15 {
+				continue
+			}
+			x0, y0 := cx(ix), cy(iy)
+			x1, y1 := cx(ix+1), cy(iy+1)
+			// Edge interpolation points.
+			bottom := func() fpoint { return interp(x0, y0, v00, x1, y0, v10) }
+			top := func() fpoint { return interp(x0, y1, v01, x1, y1, v11) }
+			left := func() fpoint { return interp(x0, y0, v00, x0, y1, v01) }
+			right := func() fpoint { return interp(x1, y0, v10, x1, y1, v11) }
+			// Emit segments oriented so the inside (positive) region is on
+			// the LEFT of the directed segment; loops then come out CCW
+			// around printed features.
+			switch idx {
+			case 1:
+				addSeg(left(), bottom())
+			case 2:
+				addSeg(bottom(), right())
+			case 3:
+				addSeg(left(), right())
+			case 4:
+				addSeg(right(), top())
+			case 5: // ambiguous: split by center sign
+				if v00+v10+v11+v01 > 0 {
+					addSeg(left(), top())
+					addSeg(right(), bottom())
+				} else {
+					addSeg(left(), bottom())
+					addSeg(right(), top())
+				}
+			case 6:
+				addSeg(bottom(), top())
+			case 7:
+				addSeg(left(), top())
+			case 8:
+				addSeg(top(), left())
+			case 9:
+				addSeg(top(), bottom())
+			case 10:
+				if v00+v10+v11+v01 > 0 {
+					addSeg(top(), right())
+					addSeg(bottom(), left())
+				} else {
+					addSeg(top(), left())
+					addSeg(bottom(), right())
+				}
+			case 11:
+				addSeg(top(), right())
+			case 12:
+				addSeg(right(), left())
+			case 13:
+				addSeg(right(), bottom())
+			case 14:
+				addSeg(bottom(), left())
+			}
+		}
+	}
+
+	// Stitch segments into closed loops.
+	var loops []geom.Polygon
+	for len(segs) > 0 {
+		// Pick any remaining start.
+		var startKey [2]int64
+		for k := range segs {
+			startKey = k
+			break
+		}
+		var loop []fpoint
+		cur := startKey
+		start := fpoint{float64(startKey[0]) / 64, float64(startKey[1]) / 64}
+		loop = append(loop, start)
+		for {
+			ends := segs[cur]
+			if len(ends) == 0 {
+				delete(segs, cur)
+				break // open chain (shouldn't happen except at numeric ties)
+			}
+			next := ends[0]
+			if len(ends) == 1 {
+				delete(segs, cur)
+			} else {
+				segs[cur] = ends[1:]
+			}
+			nk := quant(next)
+			if nk == startKey {
+				break // closed
+			}
+			loop = append(loop, next)
+			cur = nk
+			if len(loop) > 4*(im.Nx+2)*(im.Ny+2) {
+				break // safety against pathological stitching
+			}
+		}
+		if len(loop) >= 3 {
+			pg := make(geom.Polygon, 0, len(loop))
+			for _, p := range loop {
+				pg = append(pg, geom.Pt(geom.Coord(math.Round(p.x)), geom.Coord(math.Round(p.y))))
+			}
+			// Drop consecutive duplicates introduced by nm rounding.
+			pg = dedupPoly(pg)
+			if len(pg) >= 3 {
+				loops = append(loops, pg)
+			}
+		}
+	}
+	return loops
+}
+
+func dedupPoly(pg geom.Polygon) geom.Polygon {
+	var out geom.Polygon
+	for _, p := range pg {
+		if len(out) > 0 && out[len(out)-1] == p {
+			continue
+		}
+		out = append(out, p)
+	}
+	if len(out) > 1 && out[0] == out[len(out)-1] {
+		out = out[:len(out)-1]
+	}
+	return out
+}

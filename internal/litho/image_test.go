@@ -1,0 +1,222 @@
+package litho
+
+import (
+	"math"
+	"testing"
+
+	"postopc/internal/geom"
+)
+
+// rampImage builds a synthetic image whose intensity rises linearly with x:
+// I = x / 100 (x in nm), on a 200x100nm window at 5nm pixels.
+func rampImage() *Image {
+	mask := geom.NewRaster(geom.R(0, 0, 200, 100), 5)
+	im := NewImage(mask)
+	for iy := 0; iy < im.Ny; iy++ {
+		for ix := 0; ix < im.Nx; ix++ {
+			x, _ := mask.PixelCenter(ix, iy)
+			im.Data[iy*im.Nx+ix] = x / 100
+		}
+	}
+	return im
+}
+
+func TestImageSampleBilinear(t *testing.T) {
+	im := rampImage()
+	// Inside the grid the ramp must be reproduced exactly by bilinear
+	// interpolation.
+	for _, x := range []float64{10, 37.5, 100, 155} {
+		if got := im.Sample(x, 50); math.Abs(got-x/100) > 1e-9 {
+			t.Fatalf("Sample(%g) = %g, want %g", x, got, x/100)
+		}
+	}
+}
+
+func TestImageOutOfRangeIsClearField(t *testing.T) {
+	im := rampImage()
+	if got := im.At(-5, 0); got != 1 {
+		t.Fatalf("out-of-range At = %g, want clear field 1", got)
+	}
+	if got := im.Sample(-500, -500); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("far sample = %g, want 1", got)
+	}
+}
+
+func TestImageCrossings(t *testing.T) {
+	im := rampImage()
+	// The ramp crosses I=0.5 at x=50.
+	xs := im.Crossings(AxisX, 50, 10, 190, 0.5)
+	if len(xs) != 1 || math.Abs(xs[0]-50) > 1.5 {
+		t.Fatalf("crossings = %v, want [50]", xs)
+	}
+	// No crossing below the ramp range.
+	if xs := im.Crossings(AxisX, 50, 10, 190, 5.0); len(xs) != 0 {
+		t.Fatalf("unexpected crossings %v", xs)
+	}
+	// Degenerate scan.
+	if xs := im.Crossings(AxisX, 50, 100, 100, 0.5); xs != nil {
+		t.Fatalf("degenerate scan = %v", xs)
+	}
+}
+
+func TestImageMeasureCD(t *testing.T) {
+	// Synthetic V-shaped intensity dip centered at x=100: printed region
+	// (I < th) is an interval around 100.
+	mask := geom.NewRaster(geom.R(0, 0, 200, 40), 5)
+	im := NewImage(mask)
+	for iy := 0; iy < im.Ny; iy++ {
+		for ix := 0; ix < im.Nx; ix++ {
+			x, _ := mask.PixelCenter(ix, iy)
+			im.Data[iy*im.Nx+ix] = math.Abs(x-100) / 100
+		}
+	}
+	res := im.MeasureCD(AxisX, 20, 5, 195, 100, 0.4, ClearField)
+	if !res.OK {
+		t.Fatal("feature not found")
+	}
+	if math.Abs(res.CD-80) > 3 {
+		t.Fatalf("CD = %g, want ~80", res.CD)
+	}
+	// Probe point outside the feature.
+	res = im.MeasureCD(AxisX, 20, 5, 195, 190, 0.4, ClearField)
+	if res.OK {
+		t.Fatal("probe outside feature must not report OK")
+	}
+	// DarkField polarity flips the feature.
+	res = im.MeasureCD(AxisX, 20, 5, 195, 190, 0.4, DarkField)
+	if !res.OK {
+		t.Fatal("dark-field feature missing")
+	}
+}
+
+func TestPrintedCoverage(t *testing.T) {
+	im := rampImage()
+	// I < 0.5 for x < 50: one quarter of the 200-wide window.
+	cov := im.PrintedCoverage(geom.R(0, 0, 200, 100), 0.5, ClearField)
+	if math.Abs(cov-0.25) > 0.05 {
+		t.Fatalf("printed coverage = %g, want ~0.25", cov)
+	}
+	if got := im.PrintedCoverage(geom.R(500, 500, 600, 600), 0.5, ClearField); got != 0 {
+		t.Fatalf("out-of-window coverage = %g", got)
+	}
+}
+
+func TestSummarizeCDs(t *testing.T) {
+	st := SummarizeCDs(nil, nil)
+	if st.N != 0 {
+		t.Fatal("empty stats")
+	}
+	st = SummarizeCDs([]float64{90, 100, 110}, []float64{100, 100, 100})
+	if st.N != 3 || st.Mean != 100 || st.Min != 90 || st.Max != 110 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.Std-math.Sqrt(200.0/3)) > 1e-9 {
+		t.Fatalf("std = %g", st.Std)
+	}
+	if math.Abs(st.MeanAbsErr-20.0/3) > 1e-9 {
+		t.Fatalf("mae = %g", st.MeanAbsErr)
+	}
+}
+
+func TestProcessWindowCorners(t *testing.T) {
+	pw := ProcessWindow{DefocusNM: 120, DoseFrac: 0.05}
+	cs := pw.Corners()
+	if len(cs) != 5 || cs[0] != Nominal {
+		t.Fatalf("corners = %v", cs)
+	}
+	grid := pw.Sample(3, 3)
+	if len(grid) != 9 {
+		t.Fatalf("sample grid = %d", len(grid))
+	}
+	// Extremes present.
+	foundMax := false
+	for _, c := range grid {
+		if c.DefocusNM == 120 && math.Abs(c.Dose-1.05) < 1e-12 {
+			foundMax = true
+		}
+	}
+	if !foundMax {
+		t.Fatal("sample grid missing extreme corner")
+	}
+	if got := pw.Sample(0, 0); len(got) != 1 {
+		t.Fatalf("degenerate sample = %v", got)
+	}
+}
+
+func TestContoursOfPrintedLine(t *testing.T) {
+	r := testRecipe()
+	m, err := NewAbbe(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect := geom.R(-80, -400, 80, 400)
+	mask := RasterizeRects([]geom.Rect{rect}, r.PixelNM, r.GuardNM)
+	im, err := m.Aerial(mask, Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := im.Contours(0.3, ClearField)
+	if len(loops) == 0 {
+		t.Fatal("no contours extracted")
+	}
+	// The largest loop should be comparable to the drawn rect.
+	var best geom.Polygon
+	for _, l := range loops {
+		if best == nil || l.Area() > best.Area() {
+			best = l
+		}
+	}
+	drawn := float64(rect.Area())
+	got := float64(best.Area())
+	if got < 0.5*drawn || got > 1.6*drawn {
+		t.Fatalf("printed contour area %g vs drawn %g", got, drawn)
+	}
+	// Contour must enclose the feature center.
+	if !best.Contains(geom.Pt(0, 0)) {
+		t.Fatal("contour does not contain the line center")
+	}
+}
+
+func TestContoursEmptyImage(t *testing.T) {
+	mask := geom.NewRaster(geom.R(0, 0, 300, 300), 10)
+	im := NewImage(mask)
+	for i := range im.Data {
+		im.Data[i] = 1 // all clear field
+	}
+	if loops := im.Contours(0.3, ClearField); len(loops) != 0 {
+		t.Fatalf("contours of clear field = %d", len(loops))
+	}
+}
+
+func TestImageILS(t *testing.T) {
+	im := rampImage()
+	// ILS of the ramp at x=100: dI/dx = 0.01, I = 1 -> ILS = 0.01.
+	ils := im.ILS(100, 50, 1, 0)
+	if math.Abs(ils-0.01) > 1e-3 {
+		t.Fatalf("ILS = %g, want 0.01", ils)
+	}
+	// Perpendicular direction: flat.
+	if ils := im.ILS(100, 50, 0, 1); ils > 1e-9 {
+		t.Fatalf("perpendicular ILS = %g", ils)
+	}
+}
+
+func TestLineArrayGeometry(t *testing.T) {
+	la := LineArray{WidthNM: 100, PitchNM: 300, Count: 3, LengthNM: 1000}
+	rects := la.Rects()
+	if len(rects) != 3 {
+		t.Fatalf("rects = %d", len(rects))
+	}
+	xs := la.CenterXs()
+	if xs[0] != -300 || xs[1] != 0 || xs[2] != 300 {
+		t.Fatalf("centers = %v", xs)
+	}
+	for i, r := range rects {
+		if r.W() != 100 || r.H() != 1000 {
+			t.Fatalf("rect %d = %v", i, r)
+		}
+	}
+	if (LineArray{}).Rects() != nil {
+		t.Fatal("empty array must have no rects")
+	}
+}

@@ -1,0 +1,280 @@
+package litho
+
+import (
+	"math"
+	"testing"
+
+	"postopc/internal/geom"
+)
+
+// testRecipe is a 90nm-node-class ArF recipe used throughout the litho
+// tests. The pixel is kept coarse (10nm) for speed.
+func testRecipe() Recipe {
+	return Recipe{
+		WavelengthNM: 193,
+		NA:           0.85,
+		SigmaOuter:   0.7,
+		SigmaInner:   0,
+		SourceRings:  3,
+		Threshold:    0.30,
+		PixelNM:      10,
+		GuardNM:      400,
+		Polarity:     ClearField,
+	}
+}
+
+func newAbbeT(t *testing.T) *Abbe {
+	t.Helper()
+	m, err := NewAbbe(testRecipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newGaussT(t *testing.T) *Gaussian {
+	t.Helper()
+	m, err := NewGaussian(testRecipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRecipeValidate(t *testing.T) {
+	good := testRecipe()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Recipe){
+		func(r *Recipe) { r.WavelengthNM = 0 },
+		func(r *Recipe) { r.NA = -1 },
+		func(r *Recipe) { r.NA = 2 },
+		func(r *Recipe) { r.SigmaOuter = 0 },
+		func(r *Recipe) { r.SigmaOuter = 1.2 },
+		func(r *Recipe) { r.SigmaInner = 0.9 },
+		func(r *Recipe) { r.SourceRings = 0 },
+		func(r *Recipe) { r.Threshold = 0 },
+		func(r *Recipe) { r.Threshold = 1 },
+		func(r *Recipe) { r.PixelNM = 0 },
+		func(r *Recipe) { r.GuardNM = -1 },
+	}
+	for i, mod := range bad {
+		r := testRecipe()
+		mod(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestRecipeDerived(t *testing.T) {
+	r := testRecipe()
+	if hp := r.RayleighHalfPitch(); math.Abs(hp-113.5) > 1 {
+		t.Fatalf("half pitch = %g", hp)
+	}
+	if dof := r.DepthOfFocus(); math.Abs(dof-267.1) > 1 {
+		t.Fatalf("DOF = %g", dof)
+	}
+	if th := r.EffectiveThreshold(Corner{Dose: 1.1}); math.Abs(th-0.30/1.1) > 1e-12 {
+		t.Fatalf("effective threshold = %g", th)
+	}
+	if th := r.EffectiveThreshold(Corner{Dose: 0}); th != r.Threshold {
+		t.Fatalf("zero dose threshold = %g", th)
+	}
+}
+
+func TestSampleSourceWeights(t *testing.T) {
+	for _, tc := range []struct {
+		inner, outer float64
+		rings        int
+	}{
+		{0, 0.7, 3}, {0.5, 0.8, 4}, {0, 0.9, 1}, {0, 0.5, 5},
+	} {
+		pts := SampleSource(tc.inner, tc.outer, tc.rings)
+		if len(pts) == 0 {
+			t.Fatalf("no source points for %+v", tc)
+		}
+		var sum float64
+		for _, p := range pts {
+			sum += p.Weight
+			r := math.Hypot(p.SX, p.SY)
+			if r > tc.outer+1e-9 {
+				t.Fatalf("source point outside sigma: %v", p)
+			}
+			if r < tc.inner-1e-9 {
+				t.Fatalf("source point inside annulus hole: %v", p)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("weights sum to %g", sum)
+		}
+	}
+	// Coherent special case.
+	pts := SampleSource(0, 0.7, 1)
+	if len(pts) < 4 {
+		t.Fatalf("single ring should still sample the disk, got %d points", len(pts))
+	}
+}
+
+func TestAbbeClearField(t *testing.T) {
+	m := newAbbeT(t)
+	mask := geom.NewRaster(geom.R(0, 0, 1000, 1000), 10) // empty mask
+	im, err := m.Aerial(mask, Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := im.MinMax()
+	if math.Abs(lo-1) > 1e-6 || math.Abs(hi-1) > 1e-6 {
+		t.Fatalf("clear field intensity = [%g, %g], want 1", lo, hi)
+	}
+}
+
+func TestGaussianClearField(t *testing.T) {
+	m := newGaussT(t)
+	mask := geom.NewRaster(geom.R(0, 0, 1000, 1000), 10)
+	im, err := m.Aerial(mask, Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := im.MinMax()
+	if math.Abs(lo-1) > 1e-9 || math.Abs(hi-1) > 1e-9 {
+		t.Fatalf("clear field intensity = [%g, %g], want 1", lo, hi)
+	}
+}
+
+func TestAbbeWideLineDark(t *testing.T) {
+	m := newAbbeT(t)
+	// A very wide chrome pad: center must be nearly dark.
+	mask := RasterizeRects([]geom.Rect{geom.R(-600, -600, 600, 600)}, 10, 400)
+	im, err := m.Aerial(mask, Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := im.Sample(0, 0); v > 0.02 {
+		t.Fatalf("center of wide pad = %g, want ~0", v)
+	}
+	// Far away from the pad: clear field.
+	if v := im.Sample(950, 950); math.Abs(v-1) > 0.05 {
+		t.Fatalf("far field = %g, want ~1", v)
+	}
+}
+
+func measureLineCD(t *testing.T, m Model, width, pitch geom.Coord, c Corner, th float64) float64 {
+	t.Helper()
+	la := LineArray{WidthNM: width, PitchNM: pitch, Count: 7, LengthNM: 2000}
+	mask := RasterizeRects(la.Rects(), m.Recipe().PixelNM, m.Recipe().GuardNM)
+	im, err := m.Aerial(mask, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := la.CenterXs()
+	mid := centers[len(centers)/2]
+	half := float64(pitch) / 2
+	res := im.MeasureCD(AxisX, 0, mid-half, mid+half, mid, th, m.Recipe().Polarity)
+	if !res.OK {
+		t.Fatalf("line (w=%d p=%d) did not print", width, pitch)
+	}
+	return res.CD
+}
+
+func TestAbbeLinePrints(t *testing.T) {
+	m := newAbbeT(t)
+	th := m.Recipe().Threshold
+	cd := measureLineCD(t, m, 130, 390, Nominal, th)
+	// Uncalibrated threshold: printed CD within ~40% of drawn.
+	if cd < 80 || cd > 190 {
+		t.Fatalf("printed CD = %g for drawn 130", cd)
+	}
+}
+
+func TestIsoDenseBias(t *testing.T) {
+	// The printed CD of a dense line differs from an isolated line of the
+	// same drawn width — the proximity effect OPC exists to fix.
+	m := newAbbeT(t)
+	th := m.Recipe().Threshold
+	dense := measureLineCD(t, m, 130, 280, Nominal, th)
+	iso := measureLineCD(t, m, 130, 1400, Nominal, th)
+	if math.Abs(dense-iso) < 2 {
+		t.Fatalf("iso-dense bias suspiciously small: dense=%g iso=%g", dense, iso)
+	}
+}
+
+func TestDefocusDegradesImage(t *testing.T) {
+	m := newAbbeT(t)
+	la := LineArray{WidthNM: 130, PitchNM: 280, Count: 7, LengthNM: 2000}
+	mask := RasterizeRects(la.Rects(), 10, 400)
+	imgs, err := m.AerialSeries(mask, []Corner{Nominal, {DefocusNM: 150, Dose: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Image log slope at the drawn edge must drop with defocus.
+	edgeX := la.CenterXs()[3] + 65
+	ils0 := imgs[0].ILS(edgeX, 0, 1, 0)
+	ils1 := imgs[1].ILS(edgeX, 0, 1, 0)
+	if ils1 >= ils0 {
+		t.Fatalf("defocus did not degrade ILS: %g -> %g", ils0, ils1)
+	}
+}
+
+func TestAerialSeriesSharesDoseCorners(t *testing.T) {
+	m := newAbbeT(t)
+	mask := RasterizeRects([]geom.Rect{geom.R(-65, -500, 65, 500)}, 10, 400)
+	imgs, err := m.AerialSeries(mask, []Corner{
+		{DefocusNM: 0, Dose: 0.95},
+		{DefocusNM: 0, Dose: 1.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dose-only corners must share the identical image.
+	if imgs[0] != imgs[1] {
+		t.Fatal("dose-only corners should share one simulated image")
+	}
+}
+
+func TestGaussianTracksAbbe(t *testing.T) {
+	// The fast model should agree with Abbe on a comfortable feature to
+	// within ~15nm of CD.
+	ab := newAbbeT(t)
+	ga := newGaussT(t)
+	th := 0.3
+	cdA := measureLineCD(t, ab, 180, 540, Nominal, th)
+	cdG := measureLineCD(t, ga, 180, 540, Nominal, th)
+	if math.Abs(cdA-cdG) > 20 {
+		t.Fatalf("fast model CD %g vs Abbe %g", cdG, cdA)
+	}
+}
+
+func TestCalibrateThreshold(t *testing.T) {
+	m := newAbbeT(t)
+	th, err := CalibrateThreshold(m, 130, 390)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th <= 0.05 || th >= 0.9 {
+		t.Fatalf("calibrated threshold = %g out of plausible range", th)
+	}
+	// With the calibrated threshold the reference line prints at size.
+	cd := measureLineCD(t, m, 130, 390, Nominal, th)
+	if math.Abs(cd-130) > 2.5 {
+		t.Fatalf("calibrated CD = %g, want 130±2.5", cd)
+	}
+}
+
+func TestDoseMovesCD(t *testing.T) {
+	m := newAbbeT(t)
+	r := m.Recipe()
+	th, err := CalibrateThreshold(m, 130, 390)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overdose := r
+	overdose.Threshold = th
+	// Higher dose -> lower effective threshold -> thinner clear-field line.
+	cdNom := measureLineCD(t, m, 130, 390, Nominal, overdose.EffectiveThreshold(Nominal))
+	cdOver := measureLineCD(t, m, 130, 390, Corner{Dose: 1.1}, overdose.EffectiveThreshold(Corner{Dose: 1.1}))
+	if cdOver >= cdNom {
+		t.Fatalf("overdose must thin the line: %g -> %g", cdNom, cdOver)
+	}
+}

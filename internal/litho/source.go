@@ -1,0 +1,51 @@
+package litho
+
+import "math"
+
+// SourcePoint is one Abbe sample of the illumination source in pupil
+// coordinates (units of NA/λ; |σ| ≤ 1 lies within the pupil).
+type SourcePoint struct {
+	SX, SY float64 // normalized source coordinates (σ units)
+	Weight float64 // normalized so all weights sum to 1
+}
+
+// SampleSource discretizes a conventional (disk) or annular source into
+// concentric rings of points. The sampling is deterministic: ring radii are
+// the midpoints of equal-width annular bands, and each ring carries a point
+// count proportional to its circumference so the areal density is uniform.
+func SampleSource(sigmaInner, sigmaOuter float64, rings int) []SourcePoint {
+	if rings < 1 {
+		rings = 1
+	}
+	var pts []SourcePoint
+	band := (sigmaOuter - sigmaInner) / float64(rings)
+	var totalW float64
+	for k := 0; k < rings; k++ {
+		r := sigmaInner + (float64(k)+0.5)*band
+		// Points per ring proportional to radius, minimum 4, rounded to a
+		// multiple of 4 to keep the sampling 4-fold symmetric.
+		n := int(math.Round(2*math.Pi*r/band)) / 4 * 4
+		if n < 4 {
+			n = 4
+		}
+		// Weight of the whole ring equals its band area.
+		ringArea := math.Pi * (sq(r+band/2) - sq(r-band/2))
+		w := ringArea / float64(n)
+		// Stagger alternate rings by half a step to avoid angular aliasing.
+		phase := 0.0
+		if k%2 == 1 {
+			phase = math.Pi / float64(n)
+		}
+		for i := 0; i < n; i++ {
+			th := phase + 2*math.Pi*float64(i)/float64(n)
+			pts = append(pts, SourcePoint{r * math.Cos(th), r * math.Sin(th), w})
+			totalW += w
+		}
+	}
+	for i := range pts {
+		pts[i].Weight /= totalW
+	}
+	return pts
+}
+
+func sq(x float64) float64 { return x * x }

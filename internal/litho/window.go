@@ -1,0 +1,60 @@
+package litho
+
+import "fmt"
+
+// ProcessWindow is the set of focus/dose excursions a design must survive.
+type ProcessWindow struct {
+	// DefocusNM is the maximum focus error (±) in nm.
+	DefocusNM float64
+	// DoseFrac is the maximum relative dose error (±), e.g. 0.05 for ±5%.
+	DoseFrac float64
+}
+
+// Corners returns the nominal condition plus the four extreme corners of
+// the window, nominal first. Because a positive focus excursion images the
+// same as a negative one for thin masks (paraxial defocus is symmetric),
+// only the positive defocus branch is simulated; dose excursions are free.
+func (pw ProcessWindow) Corners() []Corner {
+	return []Corner{
+		Nominal,
+		{DefocusNM: pw.DefocusNM, Dose: 1 - pw.DoseFrac},
+		{DefocusNM: pw.DefocusNM, Dose: 1 + pw.DoseFrac},
+		{DefocusNM: 0, Dose: 1 - pw.DoseFrac},
+		{DefocusNM: 0, Dose: 1 + pw.DoseFrac},
+	}
+}
+
+// Sample returns an (nf × nd) grid of corners spanning the window,
+// including the extremes — used for full process-window CD maps.
+func (pw ProcessWindow) Sample(nf, nd int) []Corner {
+	if nf < 1 {
+		nf = 1
+	}
+	if nd < 1 {
+		nd = 1
+	}
+	var out []Corner
+	for i := 0; i < nf; i++ {
+		var z float64
+		if nf == 1 {
+			z = 0
+		} else {
+			z = pw.DefocusNM * float64(i) / float64(nf-1)
+		}
+		for j := 0; j < nd; j++ {
+			var d float64
+			if nd == 1 {
+				d = 1
+			} else {
+				d = 1 - pw.DoseFrac + 2*pw.DoseFrac*float64(j)/float64(nd-1)
+			}
+			out = append(out, Corner{DefocusNM: z, Dose: d})
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (c Corner) String() string {
+	return fmt.Sprintf("f=%+.0fnm d=%.2f", c.DefocusNM, c.Dose)
+}

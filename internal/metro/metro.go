@@ -1,0 +1,195 @@
+// Package metro implements design-driven metrology planning: instead of
+// measuring (or simulating) every gate on the chip, gate sites are grouped
+// into layout-context classes — same cell, same device, same abutting
+// neighbours — and a few representatives per class are measured; the class
+// statistics then annotate every member. This is the CD-SEM sampling
+// methodology of the paper's authors (design-based metrology), and it is
+// what makes the extraction flow affordable on real chips: the class count
+// grows with the library, not the gate count.
+package metro
+
+import (
+	"fmt"
+	"sort"
+
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+)
+
+// Site is one plannable measurement target.
+type Site struct {
+	// Gate is the instance name; Local the device within it.
+	Gate, Local string
+	// Class is the context-class signature the site belongs to.
+	Class string
+	// Channel is the drawn gate in chip coordinates.
+	Channel geom.Rect
+}
+
+// Plan is a metrology sampling plan.
+type Plan struct {
+	// Classes maps class signature -> member sites (deterministic order).
+	Classes map[string][]Site
+	// Selected are the sites to actually measure, per class.
+	Selected []Site
+	// PerClass is the sampling depth used.
+	PerClass int
+}
+
+// Classify groups every gate site on the chip into context classes. The
+// signature captures the intra-cell context exactly (cell + device name +
+// orientation) and the inter-cell context by the abutting neighbour cells
+// — the resolution at which the optical neighbourhood repeats in a
+// row-based layout.
+func Classify(chip *layout.Chip) map[string][]Site {
+	classes := map[string][]Site{}
+	for i := range chip.Instances {
+		inst := &chip.Instances[i]
+		if len(inst.Cell.Gates) == 0 {
+			continue
+		}
+		left, right := neighbours(chip, inst)
+		for _, g := range inst.Cell.Gates {
+			sig := fmt.Sprintf("%s/%s/o%d|L:%s|R:%s", inst.Cell.Name, g.Name, inst.Orient, left, right)
+			classes[sig] = append(classes[sig], Site{
+				Gate:    inst.Name,
+				Local:   g.Name,
+				Class:   sig,
+				Channel: inst.TransformRect(g.Channel),
+			})
+		}
+	}
+	for _, sites := range classes {
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].Gate != sites[j].Gate {
+				return sites[i].Gate < sites[j].Gate
+			}
+			return sites[i].Local < sites[j].Local
+		})
+	}
+	return classes
+}
+
+// neighbours names the cells abutting an instance in its row ("edge" when
+// none).
+func neighbours(chip *layout.Chip, inst *layout.Instance) (left, right string) {
+	left, right = "edge", "edge"
+	b := inst.Bounds()
+	probeL := geom.R(b.X0-10, b.Y0+10, b.X0-1, b.Y1-10)
+	probeR := geom.R(b.X1+1, b.Y0+10, b.X1+10, b.Y1-10)
+	for _, o := range chip.InstancesIn(probeL) {
+		if o != inst {
+			left = o.Cell.Name
+		}
+	}
+	for _, o := range chip.InstancesIn(probeR) {
+		if o != inst {
+			right = o.Cell.Name
+		}
+	}
+	return
+}
+
+// NewPlan classifies the chip and selects perClass representatives of
+// every class (the first members in deterministic order — corresponding
+// to a fab picking fixed die locations).
+func NewPlan(chip *layout.Chip, perClass int) *Plan {
+	if perClass < 1 {
+		perClass = 1
+	}
+	p := &Plan{Classes: Classify(chip), PerClass: perClass}
+	sigs := make([]string, 0, len(p.Classes))
+	for sig := range p.Classes {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		members := p.Classes[sig]
+		k := perClass
+		if k > len(members) {
+			k = len(members)
+		}
+		p.Selected = append(p.Selected, members[:k]...)
+	}
+	return p
+}
+
+// Gates returns the distinct instance names the plan needs measured.
+func (p *Plan) Gates() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range p.Selected {
+		if !seen[s.Gate] {
+			seen[s.Gate] = true
+			out = append(out, s.Gate)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Coverage summarizes the plan.
+type Coverage struct {
+	TotalSites, Classes, Measured int
+	// SamplingFraction = Measured / TotalSites.
+	SamplingFraction float64
+}
+
+// Coverage computes plan statistics.
+func (p *Plan) Coverage() Coverage {
+	total := 0
+	for _, m := range p.Classes {
+		total += len(m)
+	}
+	c := Coverage{TotalSites: total, Classes: len(p.Classes), Measured: len(p.Selected)}
+	if total > 0 {
+		c.SamplingFraction = float64(c.Measured) / float64(total)
+	}
+	return c
+}
+
+// Inference spreads measured per-site values to every class member.
+type Inference struct {
+	// ClassMean maps class signature -> mean measured value.
+	ClassMean map[string]float64
+	plan      *Plan
+}
+
+// Infer averages the measured values (keyed "gate/local") per class.
+func (p *Plan) Infer(measured map[string]float64) (*Inference, error) {
+	inf := &Inference{ClassMean: map[string]float64{}, plan: p}
+	counts := map[string]int{}
+	for _, s := range p.Selected {
+		v, ok := measured[s.Gate+"/"+s.Local]
+		if !ok {
+			return nil, fmt.Errorf("metro: selected site %s/%s not measured", s.Gate, s.Local)
+		}
+		inf.ClassMean[s.Class] += v
+		counts[s.Class]++
+	}
+	for sig, c := range counts {
+		inf.ClassMean[sig] /= float64(c)
+	}
+	return inf, nil
+}
+
+// Predict returns the inferred value for any site on the chip (measured or
+// not) and whether its class was covered.
+func (inf *Inference) Predict(site Site) (float64, bool) {
+	v, ok := inf.ClassMean[site.Class]
+	return v, ok
+}
+
+// PredictAll returns predictions for every site on the chip, keyed
+// "gate/local".
+func (inf *Inference) PredictAll() map[string]float64 {
+	out := map[string]float64{}
+	for _, members := range inf.plan.Classes {
+		for _, s := range members {
+			if v, ok := inf.Predict(s); ok {
+				out[s.Gate+"/"+s.Local] = v
+			}
+		}
+	}
+	return out
+}

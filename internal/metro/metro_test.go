@@ -1,0 +1,172 @@
+package metro
+
+import (
+	"math"
+	"testing"
+
+	"postopc/internal/netlist"
+	"postopc/internal/pdk"
+	"postopc/internal/place"
+	"postopc/internal/stdcell"
+)
+
+func placedChip(t *testing.T) (*place.Result, *netlist.Netlist) {
+	t.Helper()
+	lib, err := stdcell.NewLibrary(pdk.N90())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := netlist.Datapath(8, 6, 4)
+	pl, err := place.Place(n, lib, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, n
+}
+
+func TestClassifyCoversAllGates(t *testing.T) {
+	pl, _ := placedChip(t)
+	classes := Classify(pl.Chip)
+	total := 0
+	for _, m := range classes {
+		total += len(m)
+	}
+	want := len(pl.Chip.AllGateSites())
+	// Fill cells have no gates; everything else must be classified.
+	if total != want {
+		t.Fatalf("classified %d sites, want %d", total, want)
+	}
+	// Members of one class share cell-derived geometry (same channel
+	// dimensions).
+	for sig, m := range classes {
+		for _, s := range m[1:] {
+			if s.Channel.W() != m[0].Channel.W() || s.Channel.H() != m[0].Channel.H() {
+				t.Fatalf("class %s mixes geometries", sig)
+			}
+		}
+	}
+}
+
+func TestPlanSelectionAndCoverage(t *testing.T) {
+	pl, _ := placedChip(t)
+	p := NewPlan(pl.Chip, 2)
+	cov := p.Coverage()
+	if cov.Classes == 0 || cov.Measured == 0 || cov.TotalSites == 0 {
+		t.Fatalf("coverage: %+v", cov)
+	}
+	if cov.Measured > cov.TotalSites {
+		t.Fatal("measured more than exists")
+	}
+	if cov.SamplingFraction <= 0 || cov.SamplingFraction > 1 {
+		t.Fatalf("fraction = %g", cov.SamplingFraction)
+	}
+	// Sampling saves work on repetitive designs: an inverter chain has a
+	// handful of context classes regardless of length.
+	lib, err := stdcell.NewLibrary(pdk.N90())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := place.Place(netlist.InverterChain(60), lib, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cchain := NewPlan(chain.Chip, 2).Coverage()
+	if cchain.SamplingFraction > 0.5 {
+		t.Fatalf("repetitive chain should compress: fraction %.2f (classes %d of %d sites)",
+			cchain.SamplingFraction, cchain.Classes, cchain.TotalSites)
+	}
+	// Per-class cap respected.
+	perClass := map[string]int{}
+	for _, s := range p.Selected {
+		perClass[s.Class]++
+		if perClass[s.Class] > 2 {
+			t.Fatalf("class %s oversampled", s.Class)
+		}
+	}
+	// Gates list is deduplicated and sorted.
+	gates := p.Gates()
+	for i := 1; i < len(gates); i++ {
+		if gates[i-1] >= gates[i] {
+			t.Fatal("gates not sorted/deduped")
+		}
+	}
+}
+
+func TestInferencePredictsClassMeans(t *testing.T) {
+	pl, _ := placedChip(t)
+	p := NewPlan(pl.Chip, 2)
+	// Synthetic measurement: value depends only on the class (plus a
+	// deterministic perturbation below the class spread).
+	classIndex := map[string]float64{}
+	i := 0.0
+	for sig := range p.Classes {
+		classIndex[sig] = i
+		i++
+	}
+	measured := map[string]float64{}
+	for _, s := range p.Selected {
+		measured[s.Gate+"/"+s.Local] = 90 + classIndex[s.Class]
+	}
+	inf, err := p.Infer(measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := inf.PredictAll()
+	// Every site on the chip gets a prediction equal to its class value.
+	for sig, members := range p.Classes {
+		for _, s := range members {
+			got, ok := preds[s.Gate+"/"+s.Local]
+			if !ok {
+				t.Fatalf("no prediction for %s/%s", s.Gate, s.Local)
+			}
+			if math.Abs(got-(90+classIndex[sig])) > 1e-12 {
+				t.Fatalf("prediction %g for class %s", got, sig)
+			}
+		}
+	}
+}
+
+func TestInferMissingMeasurement(t *testing.T) {
+	pl, _ := placedChip(t)
+	p := NewPlan(pl.Chip, 1)
+	if _, err := p.Infer(map[string]float64{}); err == nil {
+		t.Fatal("missing measurements accepted")
+	}
+}
+
+func TestNeighbourSignatureMatters(t *testing.T) {
+	pl, _ := placedChip(t)
+	classes := Classify(pl.Chip)
+	// There must exist at least two classes with the same cell/device but
+	// different neighbours (the datapath shuffles cell order per chain).
+	prefixes := map[string]map[string]bool{}
+	for sig := range classes {
+		pre := sig[:len(sig)-0]
+		// prefix = part before the neighbour fields
+		if i := indexOf(sig, "|L:"); i > 0 {
+			pre = sig[:i]
+		}
+		if prefixes[pre] == nil {
+			prefixes[pre] = map[string]bool{}
+		}
+		prefixes[pre][sig] = true
+	}
+	found := false
+	for _, sigs := range prefixes {
+		if len(sigs) > 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("neighbour context never differentiated any class")
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

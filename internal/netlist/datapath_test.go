@@ -1,0 +1,74 @@
+package netlist
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDatapathShape(t *testing.T) {
+	n := Datapath(8, 10, 1)
+	if len(n.Gates) != 80 {
+		t.Fatalf("gates = %d, want 80", len(n.Gates))
+	}
+	if len(n.Outputs) != 8 {
+		t.Fatalf("outputs = %d, want 8", len(n.Outputs))
+	}
+	// 8 side inputs + 8 chain inputs.
+	if len(n.Inputs) != 16 {
+		t.Fatalf("inputs = %d, want 16", len(n.Inputs))
+	}
+	if _, err := n.Connectivity(lib(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatapathChainsShareCellMultiset(t *testing.T) {
+	n := Datapath(6, 12, 7)
+	// Count cells per chain: gates are emitted chain by chain, 12 each.
+	counts := make([]map[string]int, 6)
+	for c := 0; c < 6; c++ {
+		counts[c] = map[string]int{}
+		for g := 0; g < 12; g++ {
+			counts[c][n.Gates[c*12+g].Cell]++
+		}
+	}
+	for c := 1; c < 6; c++ {
+		if len(counts[c]) != len(counts[0]) {
+			t.Fatalf("chain %d cell variety differs", c)
+		}
+		for cell, k := range counts[0] {
+			if counts[c][cell] != k {
+				t.Fatalf("chain %d has %d %s, chain 0 has %d", c, counts[c][cell], cell, k)
+			}
+		}
+	}
+}
+
+func TestDatapathDeterministicAndSeeded(t *testing.T) {
+	var a, b, c bytes.Buffer
+	if err := WriteVerilog(&a, Datapath(5, 6, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVerilog(&b, Datapath(5, 6, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVerilog(&c, Datapath(5, 6, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed must reproduce the netlist")
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestDatapathDegenerate(t *testing.T) {
+	n := Datapath(0, 0, 1)
+	if len(n.Gates) != 1 || len(n.Outputs) != 1 {
+		t.Fatalf("degenerate datapath: %+v", n.Summary())
+	}
+	if _, err := n.Connectivity(lib(t)); err != nil {
+		t.Fatal(err)
+	}
+}

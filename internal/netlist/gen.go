@@ -1,0 +1,341 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// builder helps the generators allocate names.
+type builder struct {
+	n     *Netlist
+	gates int
+	nets  int
+}
+
+func newBuilder(name string) *builder {
+	return &builder{n: &Netlist{Name: name}}
+}
+
+func (b *builder) net() string {
+	b.nets++
+	return fmt.Sprintf("n%d", b.nets-1)
+}
+
+func (b *builder) gate(cell string, conn map[string]string) string {
+	b.gates++
+	name := fmt.Sprintf("u%d", b.gates-1)
+	b.n.AddGate(name, cell, conn)
+	return name
+}
+
+// cell2 instantiates a 2-input cell and returns its output net.
+func (b *builder) cell2(cell, a, bb string) string {
+	y := b.net()
+	b.gate(cell, map[string]string{"A": a, "B": bb, "Y": y})
+	return y
+}
+
+func (b *builder) inv(a string) string {
+	y := b.net()
+	b.gate("INV_X1", map[string]string{"A": a, "Y": y})
+	return y
+}
+
+// InverterChain builds a chain of n inverters between "in" and "out" — the
+// minimal timing benchmark.
+func InverterChain(n int) *Netlist {
+	if n < 1 {
+		n = 1
+	}
+	b := newBuilder(fmt.Sprintf("invchain%d", n))
+	b.n.Inputs = []string{"in"}
+	cur := "in"
+	for i := 0; i < n; i++ {
+		cur = b.inv(cur)
+	}
+	b.n.Outputs = []string{cur}
+	return b.n
+}
+
+// fullAdder adds one FA built from XOR2/NAND2 gates; returns (sum, cout).
+func (b *builder) fullAdder(a, bb, cin string) (sum, cout string) {
+	xab := b.cell2("XOR2_X1", a, bb)
+	sum = b.cell2("XOR2_X1", xab, cin)
+	n1 := b.cell2("NAND2_X1", a, bb)
+	n2 := b.cell2("NAND2_X1", xab, cin)
+	cout = b.cell2("NAND2_X1", n1, n2)
+	return
+}
+
+// RippleCarryAdder builds a bits-wide ripple-carry adder: inputs a[i], b[i],
+// cin; outputs s[i], cout. The carry chain is the classic long speed path.
+func RippleCarryAdder(bits int) *Netlist {
+	if bits < 1 {
+		bits = 1
+	}
+	b := newBuilder(fmt.Sprintf("rca%d", bits))
+	carry := "cin"
+	b.n.Inputs = append(b.n.Inputs, "cin")
+	var sums []string
+	for i := 0; i < bits; i++ {
+		ai := fmt.Sprintf("a%d", i)
+		bi := fmt.Sprintf("b%d", i)
+		b.n.Inputs = append(b.n.Inputs, ai, bi)
+		var s string
+		s, carry = b.fullAdder(ai, bi, carry)
+		sums = append(sums, s)
+	}
+	b.n.Outputs = append(sums, carry)
+	return b.n
+}
+
+// ArrayMultiplier builds an unsigned bits×bits carry-save array multiplier
+// with a ripple-carry final stage; outputs p[0..2*bits-1]. Its many
+// re-convergent paths make speed-path reordering visible.
+func ArrayMultiplier(bits int) *Netlist {
+	if bits < 2 {
+		bits = 2
+	}
+	b := newBuilder(fmt.Sprintf("mult%d", bits))
+	for i := 0; i < bits; i++ {
+		b.n.Inputs = append(b.n.Inputs, fmt.Sprintf("a%d", i))
+	}
+	for j := 0; j < bits; j++ {
+		b.n.Inputs = append(b.n.Inputs, fmt.Sprintf("b%d", j))
+	}
+	// Partial products pp[i][j] = a_i AND b_j (NAND + INV).
+	pp := make([][]string, bits)
+	for i := 0; i < bits; i++ {
+		pp[i] = make([]string, bits)
+		for j := 0; j < bits; j++ {
+			nn := b.cell2("NAND2_X1", fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", j))
+			pp[i][j] = b.inv(nn)
+		}
+	}
+	// Carry-save reduction, row by row.
+	// sumRow holds the running partial sums aligned to output weight.
+	out := make([]string, 2*bits)
+	sum := make([]string, bits) // current row sums for weights i+? ...
+	copy(sum, pp[0])
+	out[0] = sum[0]
+	carries := make([]string, bits)
+	for i := range carries {
+		carries[i] = "" // no carry into the first row
+	}
+	for r := 1; r < bits; r++ {
+		newSum := make([]string, bits)
+		newCarr := make([]string, bits)
+		for c := 0; c < bits; c++ {
+			// Operands at weight r+c: pp[r][c], previous sum shifted, carry.
+			var opA string
+			if c+1 < bits {
+				opA = sum[c+1]
+			}
+			opB := pp[r][c]
+			opC := carries[c]
+			switch {
+			case opA == "" && opC == "":
+				newSum[c] = opB
+				newCarr[c] = ""
+			case opC == "":
+				// Half adder.
+				newSum[c] = b.cell2("XOR2_X1", opA, opB)
+				nn := b.cell2("NAND2_X1", opA, opB)
+				newCarr[c] = b.inv(nn)
+			case opA == "":
+				newSum[c] = b.cell2("XOR2_X1", opC, opB)
+				nn := b.cell2("NAND2_X1", opC, opB)
+				newCarr[c] = b.inv(nn)
+			default:
+				newSum[c], newCarr[c] = b.fullAdder(opA, opB, opC)
+			}
+		}
+		sum, carries = newSum, newCarr
+		out[r] = sum[0]
+	}
+	// Final ripple stage merges remaining sums and carries.
+	carry := ""
+	for c := 0; c+1 < bits; c++ {
+		opA := sum[c+1]
+		opB := carries[c]
+		switch {
+		case carry == "" && opB == "":
+			out[bits+c] = opA
+		case carry == "":
+			s := b.cell2("XOR2_X1", opA, opB)
+			nn := b.cell2("NAND2_X1", opA, opB)
+			carry = b.inv(nn)
+			out[bits+c] = s
+		case opB == "":
+			s := b.cell2("XOR2_X1", opA, carry)
+			nn := b.cell2("NAND2_X1", opA, carry)
+			carry = b.inv(nn)
+			out[bits+c] = s
+		default:
+			out[bits+c], carry = b.fullAdder(opA, opB, carry)
+		}
+	}
+	if carry == "" {
+		// Degenerate small widths: tie the MSB to the last carry chain bit.
+		carry = carries[bits-1]
+		if carry == "" {
+			carry = b.inv(out[2*bits-2])
+		}
+	}
+	out[2*bits-1] = carry
+	b.n.Outputs = out
+	return b.n
+}
+
+// RandomLogic builds a pseudo-random combinational DAG with the given gate
+// count and primary-input count, in the spirit of the ISCAS benchmarks.
+// The same seed always yields the same netlist.
+func RandomLogic(gates, inputs int, seed int64) *Netlist {
+	if inputs < 2 {
+		inputs = 2
+	}
+	if gates < 1 {
+		gates = 1
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	b := newBuilder(fmt.Sprintf("rand%d_%d", gates, seed))
+	pool := make([]string, 0, inputs+gates)
+	for i := 0; i < inputs; i++ {
+		in := fmt.Sprintf("i%d", i)
+		b.n.Inputs = append(b.n.Inputs, in)
+		pool = append(pool, in)
+	}
+	type choice struct {
+		cell string
+		pins []string
+		w    int
+	}
+	menu := []choice{
+		{"INV_X1", []string{"A"}, 18},
+		{"INV_X2", []string{"A"}, 6},
+		{"BUF_X1", []string{"A"}, 6},
+		{"NAND2_X1", []string{"A", "B"}, 22},
+		{"NAND2_X2", []string{"A", "B"}, 6},
+		{"NOR2_X1", []string{"A", "B"}, 14},
+		{"NAND3_X1", []string{"A", "B", "C"}, 8},
+		{"NOR3_X1", []string{"A", "B", "C"}, 4},
+		{"AOI21_X1", []string{"A1", "A2", "B"}, 6},
+		{"OAI21_X1", []string{"A1", "A2", "B"}, 6},
+		{"XOR2_X1", []string{"A", "B"}, 8},
+	}
+	var totalW int
+	for _, m := range menu {
+		totalW += m.w
+	}
+	hasSink := map[string]bool{}
+	for g := 0; g < gates; g++ {
+		// Weighted cell choice.
+		t := rnd.Intn(totalW)
+		var m choice
+		for _, c := range menu {
+			if t < c.w {
+				m = c
+				break
+			}
+			t -= c.w
+		}
+		conn := map[string]string{}
+		for _, pin := range m.pins {
+			// Bias selection toward recent nets for a levelized structure.
+			var net string
+			if rnd.Float64() < 0.7 && len(pool) > inputs {
+				lo := len(pool) * 3 / 4
+				net = pool[lo+rnd.Intn(len(pool)-lo)]
+			} else {
+				net = pool[rnd.Intn(len(pool))]
+			}
+			// Avoid tying two pins of one gate to the same net.
+			for tries := 0; conn2Has(conn, net) && tries < 4; tries++ {
+				net = pool[rnd.Intn(len(pool))]
+			}
+			conn[pin] = net
+			hasSink[net] = true
+		}
+		y := b.net()
+		conn["Y"] = y
+		b.gate(m.cell, conn)
+		pool = append(pool, y)
+	}
+	// Outputs: every net without a sink.
+	for _, net := range pool[inputs:] {
+		if !hasSink[net] {
+			b.n.Outputs = append(b.n.Outputs, net)
+		}
+	}
+	if len(b.n.Outputs) == 0 {
+		b.n.Outputs = []string{pool[len(pool)-1]}
+	}
+	return b.n
+}
+
+// Datapath builds a datapath-style block: nChains parallel logic chains of
+// equal depth but randomly varied cell composition, each ending at its own
+// primary output. Because every chain has the same depth, the endpoint
+// slacks cluster within a few picoseconds of each other — the "slack wall"
+// regime of real datapaths, where context-dependent CD shifts visibly
+// reorder speed-path criticality.
+func Datapath(nChains, depth int, seed int64) *Netlist {
+	if nChains < 1 {
+		nChains = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	b := newBuilder(fmt.Sprintf("dp%dx%d_%d", nChains, depth, seed))
+	// Shared side inputs give the 2-input stages something to chew on.
+	const nSide = 8
+	for i := 0; i < nSide; i++ {
+		b.n.Inputs = append(b.n.Inputs, fmt.Sprintf("s%d", i))
+	}
+	type stage struct {
+		cell string
+		two  bool
+	}
+	menu := []stage{
+		{"INV_X1", false}, {"INV_X2", false}, {"BUF_X1", false},
+		{"NAND2_X1", true}, {"NOR2_X1", true}, {"NAND2_X2", true},
+	}
+	// Every chain executes the SAME multiset of stages in a chain-specific
+	// random order: identical nominal slices, like the bit slices of a
+	// real datapath.
+	multiset := make([]stage, depth)
+	for d := 0; d < depth; d++ {
+		multiset[d] = menu[d%len(menu)]
+	}
+	var outs []string
+	for c := 0; c < nChains; c++ {
+		in := fmt.Sprintf("in%d", c)
+		b.n.Inputs = append(b.n.Inputs, in)
+		order := rnd.Perm(depth)
+		cur := in
+		for _, d := range order {
+			m := multiset[d]
+			if m.two {
+				side := fmt.Sprintf("s%d", rnd.Intn(nSide))
+				cur = b.cell2(m.cell, cur, side)
+			} else {
+				y := b.net()
+				b.gate(m.cell, map[string]string{"A": cur, "Y": y})
+				cur = y
+			}
+		}
+		outs = append(outs, cur)
+	}
+	b.n.Outputs = outs
+	return b.n
+}
+
+func conn2Has(conn map[string]string, net string) bool {
+	for _, v := range conn {
+		if v == net {
+			return true
+		}
+	}
+	return false
+}

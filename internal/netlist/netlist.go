@@ -1,0 +1,159 @@
+// Package netlist represents gate-level designs: named gates instantiating
+// library cells, nets connecting pins, and primary I/O. It includes a
+// structural-Verilog-subset reader/writer and generators for the benchmark
+// circuits used in the evaluation (inverter chains, ripple-carry adders,
+// array multipliers, random logic).
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"postopc/internal/stdcell"
+)
+
+// Gate is one cell instance.
+type Gate struct {
+	// Name is the unique instance name.
+	Name string
+	// Cell is the library cell name (e.g. "NAND2_X1").
+	Cell string
+	// Conn maps pin name -> net name.
+	Conn map[string]string
+}
+
+// Netlist is a flat gate-level design.
+type Netlist struct {
+	// Name is the design name.
+	Name string
+	// Inputs and Outputs are the primary I/O net names, in declaration
+	// order.
+	Inputs, Outputs []string
+	// Gates lists the instances in declaration order.
+	Gates []*Gate
+}
+
+// Pin identifies one connection point: a gate pin or a primary I/O.
+type Pin struct {
+	// Gate is the gate index in Netlist.Gates, or -1 for a primary I/O.
+	Gate int
+	// Pin is the pin name ("" for primary I/O).
+	Pin string
+}
+
+// Conn is the connectivity of one net.
+type Conn struct {
+	// Driver is the unique driver of the net (gate output or primary
+	// input). Driver.Gate == -1 marks a primary input.
+	Driver Pin
+	// Sinks are the driven pins (gate inputs and primary outputs;
+	// Gate == -1 entries are primary outputs).
+	Sinks []Pin
+}
+
+// AddGate appends a gate.
+func (n *Netlist) AddGate(name, cell string, conn map[string]string) *Gate {
+	g := &Gate{Name: name, Cell: cell, Conn: conn}
+	n.Gates = append(n.Gates, g)
+	return g
+}
+
+// FindGate returns the index of the named gate, or -1.
+func (n *Netlist) FindGate(name string) int {
+	for i, g := range n.Gates {
+		if g.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Connectivity builds the net -> Conn map, validating against the library:
+// every pin must exist on its cell, every net needs exactly one driver, and
+// fill cells may not appear. The returned map's Sinks are in deterministic
+// order.
+func (n *Netlist) Connectivity(lib *stdcell.Library) (map[string]*Conn, error) {
+	conns := map[string]*Conn{}
+	get := func(net string) *Conn {
+		c, ok := conns[net]
+		if !ok {
+			c = &Conn{Driver: Pin{Gate: -2}}
+			conns[net] = c
+		}
+		return c
+	}
+	for _, in := range n.Inputs {
+		c := get(in)
+		c.Driver = Pin{Gate: -1}
+	}
+	for gi, g := range n.Gates {
+		info, err := lib.Get(g.Cell)
+		if err != nil {
+			return nil, fmt.Errorf("netlist %s: gate %s: %w", n.Name, g.Name, err)
+		}
+		if info.Kind == stdcell.Fill {
+			return nil, fmt.Errorf("netlist %s: gate %s instantiates fill cell %s", n.Name, g.Name, g.Cell)
+		}
+		want := map[string]bool{info.Output: true}
+		for _, p := range info.Inputs {
+			want[p] = true
+		}
+		for pin, net := range g.Conn {
+			if !want[pin] {
+				return nil, fmt.Errorf("netlist %s: gate %s (%s): unknown pin %s", n.Name, g.Name, g.Cell, pin)
+			}
+			c := get(net)
+			if pin == info.Output {
+				if c.Driver.Gate != -2 {
+					return nil, fmt.Errorf("netlist %s: net %s has multiple drivers", n.Name, net)
+				}
+				c.Driver = Pin{Gate: gi, Pin: pin}
+			} else {
+				c.Sinks = append(c.Sinks, Pin{Gate: gi, Pin: pin})
+			}
+		}
+		for p := range want {
+			if _, ok := g.Conn[p]; !ok {
+				return nil, fmt.Errorf("netlist %s: gate %s (%s): pin %s unconnected", n.Name, g.Name, g.Cell, p)
+			}
+		}
+	}
+	for _, out := range n.Outputs {
+		c, ok := conns[out]
+		if !ok {
+			return nil, fmt.Errorf("netlist %s: primary output %s is not driven", n.Name, out)
+		}
+		c.Sinks = append(c.Sinks, Pin{Gate: -1})
+	}
+	// Validate drivers and order sinks deterministically.
+	for net, c := range conns {
+		if c.Driver.Gate == -2 {
+			return nil, fmt.Errorf("netlist %s: net %s has no driver", n.Name, net)
+		}
+		sort.Slice(c.Sinks, func(i, j int) bool {
+			if c.Sinks[i].Gate != c.Sinks[j].Gate {
+				return c.Sinks[i].Gate < c.Sinks[j].Gate
+			}
+			return c.Sinks[i].Pin < c.Sinks[j].Pin
+		})
+	}
+	return conns, nil
+}
+
+// Stats summarizes a netlist.
+type Stats struct {
+	Gates   int
+	ByCell  map[string]int
+	Inputs  int
+	Outputs int
+}
+
+// Summary computes instance statistics.
+func (n *Netlist) Summary() Stats {
+	st := Stats{Gates: len(n.Gates), ByCell: map[string]int{},
+		Inputs: len(n.Inputs), Outputs: len(n.Outputs)}
+	for _, g := range n.Gates {
+		st.ByCell[g.Cell]++
+	}
+	return st
+}

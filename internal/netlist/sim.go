@@ -1,0 +1,106 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+
+	"postopc/internal/stdcell"
+)
+
+// Simulate evaluates the combinational netlist on one input vector and
+// returns the value of every net. It exists to validate that generated
+// benchmarks compute what they claim (the timing flow never checks
+// function). Sequential cells are rejected — drive Q nets as inputs and
+// read D nets as outputs to simulate across register stages.
+func Simulate(n *Netlist, lib *stdcell.Library, inputs map[string]bool) (map[string]bool, error) {
+	conns, err := n.Connectivity(lib)
+	if err != nil {
+		return nil, err
+	}
+	values := map[string]bool{}
+	for _, in := range n.Inputs {
+		v, ok := inputs[in]
+		if !ok {
+			return nil, fmt.Errorf("netlist: input %s not driven", in)
+		}
+		values[in] = v
+	}
+	// Iterate to a fixed point in topological fashion: evaluate any gate
+	// whose inputs are all known. The netlists are DAGs, so this
+	// terminates in at most depth passes.
+	remaining := make([]int, 0, len(n.Gates))
+	for gi := range n.Gates {
+		remaining = append(remaining, gi)
+	}
+	_ = conns
+	for len(remaining) > 0 {
+		progressed := false
+		next := remaining[:0]
+		for _, gi := range remaining {
+			g := n.Gates[gi]
+			info, err := lib.Get(g.Cell)
+			if err != nil {
+				return nil, err
+			}
+			if info.Kind == stdcell.Seq {
+				return nil, fmt.Errorf("netlist: Simulate is combinational; gate %s is sequential", g.Name)
+			}
+			ready := true
+			in := map[string]bool{}
+			for _, pin := range info.Inputs {
+				v, ok := values[g.Conn[pin]]
+				if !ok {
+					ready = false
+					break
+				}
+				in[pin] = v
+			}
+			if !ready {
+				next = append(next, gi)
+				continue
+			}
+			out, err := evalCell(info.Name, in)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: gate %s: %w", g.Name, err)
+			}
+			values[g.Conn[info.Output]] = out
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("netlist: %d gates never became ready (loop or undriven input)", len(next))
+		}
+		remaining = next
+	}
+	return values, nil
+}
+
+// evalCell computes one cell's boolean function from its base family name.
+func evalCell(cell string, in map[string]bool) (bool, error) {
+	base := cell
+	if i := strings.Index(base, "_X"); i >= 0 {
+		base = base[:i]
+	}
+	switch base {
+	case "INV":
+		return !in["A"], nil
+	case "BUF":
+		return in["A"], nil
+	case "NAND2":
+		return !(in["A"] && in["B"]), nil
+	case "NAND3":
+		return !(in["A"] && in["B"] && in["C"]), nil
+	case "NOR2":
+		return !(in["A"] || in["B"]), nil
+	case "NOR3":
+		return !(in["A"] || in["B"] || in["C"]), nil
+	case "AOI21":
+		return !((in["A1"] && in["A2"]) || in["B"]), nil
+	case "OAI21":
+		return !((in["A1"] || in["A2"]) && in["B"]), nil
+	case "XOR2":
+		return in["A"] != in["B"], nil
+	case "XNOR2":
+		return in["A"] == in["B"], nil
+	}
+	return false, fmt.Errorf("no boolean model for cell %s", cell)
+}

@@ -1,0 +1,157 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestSimulateInverterChain(t *testing.T) {
+	n := InverterChain(5)
+	for _, v := range []bool{false, true} {
+		out, err := Simulate(n, lib(t), map[string]bool{"in": v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Odd chain inverts.
+		if out[n.Outputs[0]] != !v {
+			t.Fatalf("chain(%v) = %v", v, out[n.Outputs[0]])
+		}
+	}
+}
+
+func TestSimulateRippleCarryAdder(t *testing.T) {
+	const bits = 8
+	n := RippleCarryAdder(bits)
+	rnd := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		a := rnd.Uint64() & (1<<bits - 1)
+		bb := rnd.Uint64() & (1<<bits - 1)
+		cin := rnd.Intn(2) == 1
+		in := map[string]bool{"cin": cin}
+		for i := 0; i < bits; i++ {
+			in[fmt.Sprintf("a%d", i)] = a>>i&1 == 1
+			in[fmt.Sprintf("b%d", i)] = bb>>i&1 == 1
+		}
+		out, err := Simulate(n, lib(t), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got uint64
+		for i, o := range n.Outputs {
+			if out[o] {
+				got |= 1 << i
+			}
+		}
+		want := a + bb
+		if cin {
+			want++
+		}
+		if got != want {
+			t.Fatalf("rca: %d + %d + %v = %d, want %d", a, bb, cin, got, want)
+		}
+	}
+}
+
+func TestSimulateArrayMultiplier(t *testing.T) {
+	const bits = 5
+	n := ArrayMultiplier(bits)
+	rnd := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		a := rnd.Uint64() & (1<<bits - 1)
+		bb := rnd.Uint64() & (1<<bits - 1)
+		in := map[string]bool{}
+		for i := 0; i < bits; i++ {
+			in[fmt.Sprintf("a%d", i)] = a>>i&1 == 1
+			in[fmt.Sprintf("b%d", i)] = bb>>i&1 == 1
+		}
+		out, err := Simulate(n, lib(t), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got uint64
+		for i, o := range n.Outputs {
+			if out[o] {
+				got |= 1 << i
+			}
+		}
+		if got != a*bb {
+			t.Fatalf("mult: %d * %d = %d, want %d", a, bb, got, a*bb)
+		}
+	}
+}
+
+func TestSimulateExhaustiveSmallMultiplier(t *testing.T) {
+	const bits = 3
+	n := ArrayMultiplier(bits)
+	for a := uint64(0); a < 1<<bits; a++ {
+		for bb := uint64(0); bb < 1<<bits; bb++ {
+			in := map[string]bool{}
+			for i := 0; i < bits; i++ {
+				in[fmt.Sprintf("a%d", i)] = a>>i&1 == 1
+				in[fmt.Sprintf("b%d", i)] = bb>>i&1 == 1
+			}
+			out, err := Simulate(n, lib(t), in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got uint64
+			for i, o := range n.Outputs {
+				if out[o] {
+					got |= 1 << i
+				}
+			}
+			if got != a*bb {
+				t.Fatalf("mult3: %d*%d = %d, want %d", a, bb, got, a*bb)
+			}
+		}
+	}
+}
+
+func TestSimulateRandomAndDatapath(t *testing.T) {
+	// Random logic and datapath blocks must at least evaluate (no loops,
+	// no unknown cells) and be deterministic.
+	for _, n := range []*Netlist{
+		RandomLogic(120, 10, 5),
+		Datapath(6, 8, 2),
+	} {
+		in := map[string]bool{}
+		for i, name := range n.Inputs {
+			in[name] = i%2 == 0
+		}
+		out1, err := Simulate(n, lib(t), in)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		out2, err := Simulate(n, lib(t), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range n.Outputs {
+			if out1[o] != out2[o] {
+				t.Fatalf("%s: nondeterministic output %s", n.Name, o)
+			}
+		}
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	l := lib(t)
+	// Missing input.
+	n := InverterChain(1)
+	if _, err := Simulate(n, l, map[string]bool{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	// Sequential cell.
+	seq := &Netlist{Name: "seq", Inputs: []string{"d", "ck"}, Outputs: []string{"q"}}
+	seq.AddGate("f", "DFF_X1", map[string]string{"D": "d", "CK": "ck", "Q": "q"})
+	if _, err := Simulate(seq, l, map[string]bool{"d": true, "ck": false}); err == nil {
+		t.Fatal("sequential cell accepted")
+	}
+}
+
+func TestEvalCellUnknown(t *testing.T) {
+	if _, err := evalCell("MYSTERY_X1", nil); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+}

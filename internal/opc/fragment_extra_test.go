@@ -1,0 +1,113 @@
+package opc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"postopc/internal/geom"
+)
+
+func TestFragmentizeLShape(t *testing.T) {
+	// L-shaped polygon: the concave corner's outward normals must still
+	// point away from the interior.
+	pg := geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(600, 0), geom.Pt(600, 200),
+		geom.Pt(200, 200), geom.Pt(200, 600), geom.Pt(0, 600),
+	}
+	fp, err := Fragmentize(pg, FragmentOptions{LengthNM: 150, CornerNM: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fp.Frags {
+		inside := f.Control.Add(f.Normal.Scale(-3))
+		outside := f.Control.Add(f.Normal.Scale(3))
+		if !pg.Contains(inside) {
+			t.Fatalf("inward probe at %v (normal %v) not inside", f.Control, f.Normal)
+		}
+		if pg.Contains(outside) {
+			t.Fatalf("outward probe at %v (normal %v) still inside", f.Control, f.Normal)
+		}
+	}
+	// Zero-bias reconstruction preserves area exactly.
+	if got := fp.Corrected().Area(); got != pg.Area() {
+		t.Fatalf("L reconstruction area %d != %d", got, pg.Area())
+	}
+}
+
+func TestSplitEdgeCoversWholeEdge(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		length := geom.Coord(20 + rnd.Intn(2000))
+		a := geom.Pt(geom.Coord(rnd.Intn(100)), geom.Coord(rnd.Intn(100)))
+		b := geom.Pt(a.X+length, a.Y)
+		opt := FragmentOptions{
+			LengthNM: geom.Coord(40 + rnd.Intn(300)),
+			CornerNM: geom.Coord(10 + rnd.Intn(80)),
+		}
+		if opt.CornerNM > opt.LengthNM {
+			opt.CornerNM = opt.LengthNM / 2
+		}
+		segs := splitEdge(a, b, opt)
+		if len(segs) == 0 {
+			return false
+		}
+		// Segments must tile the edge exactly: contiguous, monotone, and
+		// summing to the full length.
+		if segs[0][0] != a || segs[len(segs)-1][1] != b {
+			return false
+		}
+		var total geom.Coord
+		for i, s := range segs {
+			if i > 0 && segs[i-1][1] != s[0] {
+				return false
+			}
+			if s[1].X <= s[0].X {
+				return false
+			}
+			total += s[0].Manhattan(s[1])
+		}
+		return total == length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrectedNegativeBiasShrinks(t *testing.T) {
+	pg := geom.R(0, 0, 400, 200).Polygon()
+	fp, _ := Fragmentize(pg, FragmentOptions{LengthNM: 100, CornerNM: 50})
+	for _, f := range fp.Frags {
+		f.Bias = -15
+	}
+	got := fp.Corrected()
+	r, ok := got.AsRect()
+	if !ok || r != geom.R(15, 15, 385, 185) {
+		t.Fatalf("shrunk polygon = %v", got)
+	}
+}
+
+func TestCorrectedEmptyFragments(t *testing.T) {
+	fp := &FragmentedPolygon{Drawn: geom.R(0, 0, 100, 100).Polygon()}
+	got := fp.Corrected()
+	if got.Area() != 10000 {
+		t.Fatalf("no-fragment reconstruction = %v", got)
+	}
+}
+
+func TestOutwardNormalAllOrientations(t *testing.T) {
+	// CCW square: bottom edge normal down, right edge right, etc.
+	cases := []struct {
+		a, b, want geom.Point
+	}{
+		{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(0, -1)},
+		{geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(1, 0)},
+		{geom.Pt(10, 10), geom.Pt(0, 10), geom.Pt(0, 1)},
+		{geom.Pt(0, 10), geom.Pt(0, 0), geom.Pt(-1, 0)},
+	}
+	for _, c := range cases {
+		if got := outwardNormal(c.a, c.b); got != c.want {
+			t.Errorf("normal(%v->%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

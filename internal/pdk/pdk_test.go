@@ -1,0 +1,108 @@
+package pdk
+
+import (
+	"math"
+	"testing"
+
+	"postopc/internal/geom"
+	"postopc/internal/litho"
+)
+
+func TestN90Valid(t *testing.T) {
+	p := N90()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestN90ThresholdCalibrated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs a full Abbe simulation")
+	}
+	p := N90()
+	m, err := litho.NewAbbe(p.Litho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := litho.CalibrateThreshold(m, p.Rules.GateLengthNM, p.Rules.PolyPitchNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(th-p.Litho.Threshold) > 0.01 {
+		t.Fatalf("stored threshold %.4f drifted from calibration %.4f — update n90CalibratedThreshold",
+			p.Litho.Threshold, th)
+	}
+}
+
+func TestN90ContactThresholdCalibrated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs a full Abbe simulation")
+	}
+	p := N90()
+	rec := p.ContactLitho()
+	if rec.Polarity != litho.DarkField {
+		t.Fatal("contact layer must be dark field")
+	}
+	m, err := litho.NewAbbe(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dark-field slit calibration must at least converge (sanity for the
+	// polarity-aware bisection; slits need a higher threshold than 2-D
+	// contacts, so the value itself is not compared).
+	pitch := p.Rules.ContactNM + p.Rules.ContactSpaceNM
+	if _, err := litho.CalibrateThreshold(m, p.Rules.ContactNM, pitch); err != nil {
+		t.Fatal(err)
+	}
+	// The stored threshold must print a dense 2-D contact at drawn size —
+	// that is the anchor it was calibrated on.
+	var rects []geom.Rect
+	span := 4 * pitch
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			cx := -span/2 + geom.Coord(i)*pitch
+			cy := -span/2 + geom.Coord(j)*pitch
+			rects = append(rects, geom.R(cx-60, cy-60, cx+60, cy+60))
+		}
+	}
+	mask := litho.RasterizeRects(rects, rec.PixelNM, rec.GuardNM)
+	im, err := m.Aerial(mask, litho.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := im.MeasureCD(litho.AxisX, 0, -140, 140, 0, rec.Threshold, rec.Polarity)
+	if !res.OK || math.Abs(res.CD-120) > 3 {
+		t.Fatalf("stored contact threshold prints %.1fnm, want 120±3", res.CD)
+	}
+}
+
+func TestGatePitchWindow(t *testing.T) {
+	p := N90()
+	ch := geom.R(1000, 1000, 1090, 1500)
+	w := p.GatePitchWindow(ch)
+	if !w.ContainsRect(ch) {
+		t.Fatal("window must contain the channel")
+	}
+	wantAmbit := p.Litho.GuardNM + p.Rules.PolyPitchNM
+	if w.X0 != ch.X0-wantAmbit || w.Y1 != ch.Y1+wantAmbit {
+		t.Fatalf("window = %v", w)
+	}
+}
+
+func TestValidateCatchesBadKits(t *testing.T) {
+	mods := []func(*PDK){
+		func(p *PDK) { p.Rules.GateLengthNM = 0 },
+		func(p *PDK) { p.Rules.PolyPitchNM = p.Rules.GateLengthNM },
+		func(p *PDK) { p.Rules.SiteWidthNM = 0 },
+		func(p *PDK) { p.Device.VDD = 0.1 },
+		func(p *PDK) { p.Device.Alpha = 3 },
+		func(p *PDK) { p.Litho.NA = 0 },
+	}
+	for i, mod := range mods {
+		p := N90()
+		mod(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation failure", i)
+		}
+	}
+}

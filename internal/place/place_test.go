@@ -1,0 +1,166 @@
+package place
+
+import (
+	"strings"
+	"testing"
+
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/netlist"
+	"postopc/internal/pdk"
+	"postopc/internal/stdcell"
+)
+
+var testLib *stdcell.Library
+
+func lib(t *testing.T) *stdcell.Library {
+	t.Helper()
+	if testLib == nil {
+		l, err := stdcell.NewLibrary(pdk.N90())
+		if err != nil {
+			t.Fatal(err)
+		}
+		testLib = l
+	}
+	return testLib
+}
+
+func TestPlaceAllGates(t *testing.T) {
+	n := netlist.ArrayMultiplier(4)
+	res, err := Place(n, lib(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := res.Chip
+	// Every netlist gate has exactly one instance with the same name.
+	for _, g := range n.Gates {
+		if ch.FindInstance(g.Name) == nil {
+			t.Fatalf("gate %s not placed", g.Name)
+		}
+	}
+	if len(ch.Instances) != len(n.Gates)+res.FillCount {
+		t.Fatalf("instance count %d != gates %d + fill %d",
+			len(ch.Instances), len(n.Gates), res.FillCount)
+	}
+	if res.Rows < 2 {
+		t.Fatalf("expected multiple rows, got %d", res.Rows)
+	}
+}
+
+func TestPlaceNoOverlaps(t *testing.T) {
+	n := netlist.RandomLogic(150, 12, 7)
+	res, err := Place(n, lib(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := res.Chip.Instances
+	for i := range ins {
+		for j := i + 1; j < len(ins); j++ {
+			if ins[i].Bounds().Intersects(ins[j].Bounds()) {
+				t.Fatalf("instances %s and %s overlap", ins[i].Name, ins[j].Name)
+			}
+		}
+	}
+}
+
+func TestPlaceRowsAlignedAndFlipped(t *testing.T) {
+	n := netlist.RippleCarryAdder(8)
+	res, err := Place(n, lib(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowH := lib(t).PDK.Rules.CellHeightNM
+	for i := range res.Chip.Instances {
+		in := &res.Chip.Instances[i]
+		if in.Origin.Y%rowH != 0 {
+			t.Fatalf("%s not on a row boundary: %v", in.Name, in.Origin)
+		}
+		row := int(in.Origin.Y / rowH)
+		wantOrient := layout.R0
+		if row%2 == 1 {
+			wantOrient = layout.MX
+		}
+		if in.Orient != wantOrient {
+			t.Fatalf("%s row %d orientation %v", in.Name, row, in.Orient)
+		}
+	}
+}
+
+func TestPlaceFixedRowWidth(t *testing.T) {
+	n := netlist.InverterChain(20)
+	res, err := Place(n, lib(t), Options{RowWidthNM: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chip.Die.W() > 10200 {
+		t.Fatalf("die width %d exceeds requested row width", res.Chip.Die.W())
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	n := netlist.RandomLogic(80, 10, 3)
+	a, err := Place(n, lib(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(n, lib(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Chip.Instances) != len(b.Chip.Instances) {
+		t.Fatal("nondeterministic instance count")
+	}
+	for i := range a.Chip.Instances {
+		x, y := a.Chip.Instances[i], b.Chip.Instances[i]
+		if x.Name != y.Name || x.Origin != y.Origin || x.Orient != y.Orient {
+			t.Fatalf("instance %d differs: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestPlaceKeepsConnectedGatesNear(t *testing.T) {
+	// In an inverter chain, successive gates should be placed within a few
+	// rows of each other thanks to level ordering.
+	n := netlist.InverterChain(30)
+	res, err := Place(n, lib(t), Options{RowWidthNM: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev geom.Point
+	for i := 0; i < 30; i++ {
+		in := res.Chip.FindInstance(n.Gates[i].Name)
+		if in == nil {
+			t.Fatalf("missing u%d", i)
+		}
+		if i > 0 {
+			dy := in.Origin.Y - prev.Y
+			if dy < 0 {
+				dy = -dy
+			}
+			if dy > 2*lib(t).PDK.Rules.CellHeightNM {
+				t.Fatalf("chain gate %d jumped %d rows away", i, dy/lib(t).PDK.Rules.CellHeightNM)
+			}
+		}
+		prev = in.Origin
+	}
+}
+
+func TestPlaceFillNames(t *testing.T) {
+	n := netlist.InverterChain(3)
+	res, err := Place(n, lib(t), Options{RowWidthNM: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FillCount == 0 {
+		t.Fatal("expected fill padding")
+	}
+	found := 0
+	for i := range res.Chip.Instances {
+		if strings.HasPrefix(res.Chip.Instances[i].Name, "fill") {
+			found++
+		}
+	}
+	if found != res.FillCount {
+		t.Fatalf("fill instances %d != reported %d", found, res.FillCount)
+	}
+}

@@ -1,0 +1,157 @@
+// Package report renders the tables and data series the benchmark harness
+// and CLIs emit: aligned ASCII tables for terminal output and CSV for
+// figure regeneration.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled, column-aligned text table.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows hold the data cells.
+	Rows [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; missing cells render empty, extras are kept.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddF appends a row of mixed values, formatting float64 with the given
+// default precision, ints plainly and everything else via fmt.Sprint.
+func (t *Table) AddF(prec int, values ...interface{}) {
+	row := make([]string, 0, len(values))
+	for _, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row = append(row, strconv.FormatFloat(x, 'f', prec, 64))
+		case string:
+			row = append(row, x)
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint writes the aligned table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, wd := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", wd-len(c)))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// CSV writes the table as comma-separated values (header + rows). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV(w io.Writer) {
+	writeCSVRow(w, t.Columns)
+	for _, r := range t.Rows {
+		writeCSVRow(w, r)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			io.WriteString(w, `"`+strings.ReplaceAll(c, `"`, `""`)+`"`)
+		} else {
+			io.WriteString(w, c)
+		}
+	}
+	io.WriteString(w, "\n")
+}
+
+// Series is one named (x, y) data series of a figure.
+type Series struct {
+	// Name labels the series.
+	Name string
+	// X, Y are parallel coordinate slices.
+	X, Y []float64
+}
+
+// WriteSeriesCSV emits long-format CSV (series,x,y) for figure data.
+func WriteSeriesCSV(w io.Writer, series []Series) {
+	io.WriteString(w, "series,x,y\n")
+	for _, s := range series {
+		for i := range s.X {
+			fmt.Fprintf(w, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i])
+		}
+	}
+}
+
+// Histogram renders a horizontal ASCII histogram of binned counts.
+func Histogram(w io.Writer, title string, loEdge, binWidth float64, counts []int, maxBar int) {
+	if maxBar <= 0 {
+		maxBar = 50
+	}
+	peak := 1
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", title)
+	for i, c := range counts {
+		lo := loEdge + float64(i)*binWidth
+		bar := strings.Repeat("#", c*maxBar/peak)
+		fmt.Fprintf(w, "%8.1f..%-8.1f %6d %s\n", lo, lo+binWidth, c, bar)
+	}
+}

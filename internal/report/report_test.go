@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFprint(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Add("alpha", "1")
+	tb.Add("b", "22222")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "value") != strings.Index(row, "1") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableAddF(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddF(2, 1.23456, "x", 7)
+	if got := tb.Rows[0][0]; got != "1.23" {
+		t.Fatalf("float cell = %q", got)
+	}
+	if got := tb.Rows[0][2]; got != "7" {
+		t.Fatalf("int cell = %q", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.Add("x,y", `q"z`)
+	var b strings.Builder
+	tb.CSV(&b)
+	want := "a,b\n\"x,y\",\"q\"\"z\"\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	WriteSeriesCSV(&b, []Series{
+		{Name: "s1", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Name: "s2", X: []float64{3}, Y: []float64{30}},
+	})
+	got := b.String()
+	want := "series,x,y\ns1,1,10\ns1,2,20\ns2,3,30\n"
+	if got != want {
+		t.Fatalf("series csv = %q", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	var b strings.Builder
+	Histogram(&b, "h", -10, 5, []int{1, 4, 2}, 20)
+	out := b.String()
+	if !strings.Contains(out, "== h ==") || !strings.Contains(out, "####") {
+		t.Fatalf("histogram:\n%s", out)
+	}
+	// Peak bin renders the longest bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[2], "#") != 20 {
+		t.Fatalf("peak bar wrong:\n%s", out)
+	}
+	// Zero maxBar falls back to default without panicking.
+	Histogram(&b, "h2", 0, 1, []int{0, 0}, 0)
+}

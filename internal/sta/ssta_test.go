@@ -1,0 +1,134 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"postopc/internal/netlist"
+)
+
+func TestCanonicalAlgebra(t *testing.T) {
+	p := DefaultSSTAParams()
+	a := Canonical{Mean: 100, SensU: 10, SensD: 4, Rand2: 9}
+	b := Canonical{Mean: 50, SensU: -5, SensD: 2, Rand2: 4}
+	s := a.add(b)
+	if s.Mean != 150 || s.SensU != 5 || s.SensD != 6 || s.Rand2 != 13 {
+		t.Fatalf("add = %+v", s)
+	}
+	// Total mean includes the focus-severity mean.
+	if got := a.MeanTotal(p); math.Abs(got-(100+10.0/9)) > 1e-12 {
+		t.Fatalf("mean total = %g", got)
+	}
+	if a.Sigma(p) <= 0 {
+		t.Fatal("sigma must be positive")
+	}
+	// Quantiles are monotone in z.
+	if !(a.Quantile(p, -3) < a.Quantile(p, 0) && a.Quantile(p, 0) < a.Quantile(p, 3)) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestClarkMaxProperties(t *testing.T) {
+	p := DefaultSSTAParams()
+	a := Canonical{Mean: 100, SensU: 8, Rand2: 25}
+	b := Canonical{Mean: 90, SensU: 8, Rand2: 25}
+	m := cmax(a, b, p)
+	// The max mean is at least each operand's mean.
+	if m.MeanTotal(p) < a.MeanTotal(p)-1e-9 || m.MeanTotal(p) < b.MeanTotal(p)-1e-9 {
+		t.Fatalf("max mean %.3f below operands", m.MeanTotal(p))
+	}
+	// Dominant operand: max(a, much-smaller) ≈ a.
+	tiny := Canonical{Mean: 1}
+	md := cmax(a, tiny, p)
+	if math.Abs(md.MeanTotal(p)-a.MeanTotal(p)) > 0.01 {
+		t.Fatalf("dominated max drifted: %.3f vs %.3f", md.MeanTotal(p), a.MeanTotal(p))
+	}
+	// Symmetric: max(a,b) == max(b,a) within numerics.
+	m2 := cmax(b, a, p)
+	if math.Abs(m.MeanTotal(p)-m2.MeanTotal(p)) > 1e-9 ||
+		math.Abs(m.Sigma(p)-m2.Sigma(p)) > 1e-9 {
+		t.Fatal("Clark max not symmetric")
+	}
+	// Perfectly correlated equal-sensitivity case degenerates to the
+	// larger mean.
+	c1 := Canonical{Mean: 10, SensU: 5}
+	c2 := Canonical{Mean: 12, SensU: 5}
+	if got := cmax(c1, c2, p); got != c2 {
+		t.Fatalf("correlated max = %+v", got)
+	}
+}
+
+func TestPhiHelpers(t *testing.T) {
+	if math.Abs(phiCDF(0)-0.5) > 1e-12 {
+		t.Fatal("Φ(0)")
+	}
+	if math.Abs(phiCDF(3)+phiCDF(-3)-1) > 1e-12 {
+		t.Fatal("Φ symmetry")
+	}
+	if math.Abs(phiPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Fatal("φ(0)")
+	}
+}
+
+// constArcs is a trivial arc model for propagation tests: every arc has
+// delay 10 with SensU 2 and unit random variance.
+type constArcs struct{}
+
+func (constArcs) Arc(string, bool, float64, float64) (Canonical, float64) {
+	return Canonical{Mean: 10, SensU: 2, Rand2: 1}, 20
+}
+func (constArcs) Launch(string, bool, float64, float64) (Canonical, float64) {
+	return Canonical{Mean: 30, SensU: 3, Rand2: 1}, 20
+}
+
+func TestAnalyzeSSTAChain(t *testing.T) {
+	lib, tl := env(t)
+	n := chainNetlist(6)
+	g, err := Build(n, lib, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultSSTAParams()
+	res, err := g.AnalyzeSSTA(DefaultConfig(1000), p, constArcs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Endpoints) != 1 {
+		t.Fatalf("endpoints = %d", len(res.Endpoints))
+	}
+	sl := res.Endpoints[0].Slack
+	// A 6-stage chain of constant arcs: arrival = 6 canonical arcs summed,
+	// then the endpoint takes Clark's max of the (equal-mean) rise and
+	// fall arrivals, whose random parts are independent: the max gains
+	// θ·φ(0) with θ² = 2·Rand2.
+	arrMean := 6*10 + 6*2*p.MeanU
+	theta := math.Sqrt(2 * 6.0)
+	wantMean := 1000 - (arrMean + theta*phiPDF(0))
+	if math.Abs(sl.MeanTotal(p)-wantMean) > 1e-9 {
+		t.Fatalf("slack mean %.3f, want %.3f", sl.MeanTotal(p), wantMean)
+	}
+	// Sensitivities accumulate fully correlated.
+	if sl.SensU != -12 {
+		t.Fatalf("SensU = %g", sl.SensU)
+	}
+	// The independent part stays in a plausible band around 6.
+	if sl.Rand2 < 2 || sl.Rand2 > 8 {
+		t.Fatalf("Rand2 = %g", sl.Rand2)
+	}
+	if res.WNS.MeanTotal(p) != sl.MeanTotal(p) {
+		t.Fatal("single-endpoint WNS must equal its slack")
+	}
+}
+
+func TestAnalyzeSSTAErrors(t *testing.T) {
+	lib, tl := env(t)
+	g, err := Build(chainNetlist(2), lib, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AnalyzeSSTA(DefaultConfig(1000), DefaultSSTAParams(), nil); err == nil {
+		t.Fatal("nil arc model accepted")
+	}
+}
+
+func chainNetlist(k int) *netlist.Netlist { return netlist.InverterChain(k) }

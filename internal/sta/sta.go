@@ -1,0 +1,448 @@
+// Package sta is a graph-based static timing analyzer over the generated
+// cell library: levelized arrival propagation with rise/fall senses and
+// slew, endpoint slacks against an ideal clock, per-endpoint critical-path
+// backtrace, and the rank-comparison statistics the paper's speed-path
+// reordering analysis needs.
+//
+// Annotations enter exclusively through timinglib.Annotator functions per
+// gate instance — the same interface the post-OPC flow uses to feed
+// silicon-calibrated effective lengths back into timing.
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"postopc/internal/netlist"
+	"postopc/internal/stdcell"
+	"postopc/internal/timinglib"
+)
+
+// Config are the analysis boundary conditions.
+type Config struct {
+	// ClockPS is the cycle time: required arrival at every endpoint.
+	ClockPS float64
+	// InputSlewPS is the transition at primary inputs and launching flops.
+	InputSlewPS float64
+	// PrimaryLoadFF is the load on primary outputs.
+	PrimaryLoadFF float64
+	// SetupPS is the flip-flop setup time (subtracted from the required
+	// time at D endpoints).
+	SetupPS float64
+	// KPaths is how many worst paths to report (default 10).
+	KPaths int
+	// WireLoads optionally supplies per-net wire capacitance (fF), e.g.
+	// placement-derived HPWL estimates (see flow.WireLoads). When nil,
+	// the flat per-sink CWireFF of the kit is used instead.
+	WireLoads map[string]float64
+}
+
+// DefaultConfig returns sensible N90 boundary conditions (the clock must
+// still be chosen per design).
+func DefaultConfig(clockPS float64) Config {
+	return Config{ClockPS: clockPS, InputSlewPS: 30, PrimaryLoadFF: 5, SetupPS: 25, KPaths: 10}
+}
+
+// Graph is the timing graph of one netlist, reusable across annotations.
+type Graph struct {
+	Netlist *netlist.Netlist
+	Lib     *stdcell.Library
+	TL      *timinglib.Lib
+
+	conns map[string]*netlist.Conn
+	cells []*stdcell.Info // per gate
+	topo  []int           // combinational gates in topological order
+}
+
+// Build constructs and levelizes the timing graph.
+func Build(n *netlist.Netlist, lib *stdcell.Library, tl *timinglib.Lib) (*Graph, error) {
+	conns, err := n.Connectivity(lib)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{Netlist: n, Lib: lib, TL: tl, conns: conns}
+	g.cells = make([]*stdcell.Info, len(n.Gates))
+	for i, gate := range n.Gates {
+		info, err := lib.Get(gate.Cell)
+		if err != nil {
+			return nil, err
+		}
+		g.cells[i] = info
+	}
+	if err := g.levelize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// levelize topologically orders the combinational gates. Sequential cells
+// are sources/sinks and never enter the order.
+func (g *Graph) levelize() error {
+	n := g.Netlist
+	indeg := make([]int, len(n.Gates))
+	// For each combinational gate, count input nets driven by other
+	// combinational gates.
+	dependents := map[int][]int{} // driver gate -> dependent gates
+	for gi, gate := range n.Gates {
+		if g.cells[gi].Kind != stdcell.Comb {
+			continue
+		}
+		for pin, net := range gate.Conn {
+			if pin == g.cells[gi].Output {
+				continue
+			}
+			c := g.conns[net]
+			if c.Driver.Gate >= 0 && g.cells[c.Driver.Gate].Kind == stdcell.Comb {
+				indeg[gi]++
+				dependents[c.Driver.Gate] = append(dependents[c.Driver.Gate], gi)
+			}
+		}
+	}
+	var queue []int
+	for gi := range n.Gates {
+		if g.cells[gi].Kind == stdcell.Comb && indeg[gi] == 0 {
+			queue = append(queue, gi)
+		}
+	}
+	sort.Ints(queue)
+	for len(queue) > 0 {
+		gi := queue[0]
+		queue = queue[1:]
+		g.topo = append(g.topo, gi)
+		deps := dependents[gi]
+		sort.Ints(deps)
+		for _, d := range deps {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	combCount := 0
+	for gi := range n.Gates {
+		if g.cells[gi].Kind == stdcell.Comb {
+			combCount++
+		}
+	}
+	if len(g.topo) != combCount {
+		return fmt.Errorf("sta: combinational loop detected (%d of %d gates ordered)",
+			len(g.topo), combCount)
+	}
+	return nil
+}
+
+// Annotations maps gate instance name -> effective-length annotator.
+// Missing entries analyze at drawn length; the special key "*" supplies a
+// default annotator for gates without a specific entry (e.g. a blanket
+// guardband).
+type Annotations map[string]timinglib.Annotator
+
+// arrival is the timing state of one net.
+type arrival struct {
+	atR, atF     float64 // arrival times (ps)
+	slewR, slewF float64
+	// backtrace: predecessor net and sense through the driving gate.
+	fromNetR, fromNetF   string
+	fromRiseR, fromRiseF bool
+	valid                bool
+}
+
+// Endpoint is a timing endpoint: a primary output or a flop D pin.
+type Endpoint struct {
+	// Name identifies the endpoint ("net" for POs, "gate/D" for flops).
+	Name string
+	// Net is the endpoint's net.
+	Net string
+	// RequiredPS and ArrivalPS give SlackPS = Required − Arrival.
+	RequiredPS, ArrivalPS, SlackPS float64
+	// Rise is the worst-arrival sense.
+	Rise bool
+}
+
+// Result of one analysis.
+type Result struct {
+	// Endpoints sorted by ascending slack (critical first).
+	Endpoints []Endpoint
+	// WNS is the worst negative-or-not slack (ps).
+	WNS float64
+	// TNS is the total negative slack (ps, ≤ 0).
+	TNS float64
+	// Paths are the K worst per-endpoint critical paths.
+	Paths []Path
+	// LeakNW is the summed cell leakage.
+	LeakNW float64
+
+	arr map[string]*arrival
+	cfg Config
+}
+
+// Path is one speed path from a startpoint to an endpoint.
+type Path struct {
+	// Endpoint name (see Endpoint.Name).
+	Endpoint string
+	// SlackPS and ArrivalPS of the endpoint.
+	SlackPS, ArrivalPS float64
+	// Points runs from the startpoint net to the endpoint net.
+	Points []PathPoint
+}
+
+// PathPoint is one net traversal on a path.
+type PathPoint struct {
+	// Net is the net name.
+	Net string
+	// Gate is the driving gate instance ("" at startpoints).
+	Gate string
+	// Cell is the driving cell name.
+	Cell string
+	// Rise is the transition sense on this net.
+	Rise bool
+	// ArrivalPS is the arrival time at this net.
+	ArrivalPS float64
+}
+
+// Gates returns the distinct driving gate names on the path, in order.
+func (p Path) Gates() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, pt := range p.Points {
+		if pt.Gate != "" && !seen[pt.Gate] {
+			seen[pt.Gate] = true
+			out = append(out, pt.Gate)
+		}
+	}
+	return out
+}
+
+// Analyze runs STA under the given annotations.
+func (g *Graph) Analyze(cfg Config, ann Annotations) (*Result, error) {
+	if cfg.KPaths <= 0 {
+		cfg.KPaths = 10
+	}
+	n := g.Netlist
+	// Evaluate every gate's electrical view.
+	evals := make([]timinglib.Eval, len(n.Gates))
+	res := &Result{arr: map[string]*arrival{}, cfg: cfg}
+	for gi, gate := range n.Gates {
+		a := ann[gate.Name]
+		if a == nil {
+			a = ann["*"]
+		}
+		ev, err := g.TL.Evaluate(g.cells[gi], a)
+		if err != nil {
+			return nil, fmt.Errorf("sta: gate %s: %w", gate.Name, err)
+		}
+		evals[gi] = ev
+		res.LeakNW += ev.LeakNW
+	}
+	// Net loads.
+	loads := map[string]float64{}
+	poSet := map[string]bool{}
+	for _, po := range n.Outputs {
+		poSet[po] = true
+	}
+	for net, c := range g.conns {
+		var l float64
+		for _, s := range c.Sinks {
+			if s.Gate < 0 {
+				l += cfg.PrimaryLoadFF
+				continue
+			}
+			l += evals[s.Gate].CinFF[s.Pin]
+			if cfg.WireLoads == nil {
+				l += g.TL.P.CWireFF
+			}
+		}
+		if cfg.WireLoads != nil {
+			l += cfg.WireLoads[net]
+		}
+		loads[net] = l
+	}
+
+	// Seed arrivals: primary inputs and flop Q outputs.
+	for _, in := range n.Inputs {
+		res.arr[in] = &arrival{atR: 0, atF: 0, slewR: cfg.InputSlewPS, slewF: cfg.InputSlewPS, valid: true}
+	}
+	for gi, gate := range n.Gates {
+		if g.cells[gi].Kind != stdcell.Seq {
+			continue
+		}
+		qNet, ok := gate.Conn[g.cells[gi].Output]
+		if !ok {
+			continue
+		}
+		dR, sR := g.TL.ArcDelay(evals[gi], true, loads[qNet], cfg.InputSlewPS)
+		dF, sF := g.TL.ArcDelay(evals[gi], false, loads[qNet], cfg.InputSlewPS)
+		res.arr[qNet] = &arrival{atR: dR, atF: dF, slewR: sR, slewF: sF, valid: true}
+	}
+
+	// Propagate through combinational gates in topological order.
+	for _, gi := range g.topo {
+		gate := n.Gates[gi]
+		cell := g.cells[gi]
+		outNet := gate.Conn[cell.Output]
+		load := loads[outNet]
+		out := &arrival{atR: math.Inf(-1), atF: math.Inf(-1)}
+		for pin, net := range gate.Conn {
+			if pin == cell.Output {
+				continue
+			}
+			in := res.arr[net]
+			if in == nil || !in.valid {
+				continue // input from an unconstrained source
+			}
+			consider := func(inRise bool, inAT, inSlew float64) {
+				for _, outRise := range outSenses(cell.Unate, inRise) {
+					d, os := g.TL.ArcDelay(evals[gi], outRise, load, inSlew)
+					at := inAT + d
+					if outRise && at > out.atR {
+						out.atR, out.slewR = at, os
+						out.fromNetR, out.fromRiseR = net, inRise
+					} else if !outRise && at > out.atF {
+						out.atF, out.slewF = at, os
+						out.fromNetF, out.fromRiseF = net, inRise
+					}
+				}
+			}
+			consider(true, in.atR, in.slewR)
+			consider(false, in.atF, in.slewF)
+		}
+		if !math.IsInf(out.atR, -1) || !math.IsInf(out.atF, -1) {
+			out.valid = true
+		}
+		res.arr[outNet] = out
+	}
+
+	// Endpoints: primary outputs and flop D pins.
+	addEndpoint := func(name, net string, required float64) {
+		a := res.arr[net]
+		if a == nil || !a.valid {
+			return // unconstrained
+		}
+		ep := Endpoint{Name: name, Net: net, RequiredPS: required}
+		if a.atR >= a.atF {
+			ep.ArrivalPS, ep.Rise = a.atR, true
+		} else {
+			ep.ArrivalPS, ep.Rise = a.atF, false
+		}
+		ep.SlackPS = required - ep.ArrivalPS
+		res.Endpoints = append(res.Endpoints, ep)
+	}
+	for _, po := range n.Outputs {
+		addEndpoint(po, po, cfg.ClockPS)
+	}
+	for gi, gate := range n.Gates {
+		if g.cells[gi].Kind != stdcell.Seq {
+			continue
+		}
+		if dNet, ok := gate.Conn["D"]; ok {
+			addEndpoint(gate.Name+"/D", dNet, cfg.ClockPS-cfg.SetupPS)
+		}
+	}
+	sort.Slice(res.Endpoints, func(i, j int) bool {
+		if res.Endpoints[i].SlackPS != res.Endpoints[j].SlackPS {
+			return res.Endpoints[i].SlackPS < res.Endpoints[j].SlackPS
+		}
+		return res.Endpoints[i].Name < res.Endpoints[j].Name
+	})
+	if len(res.Endpoints) == 0 {
+		return nil, fmt.Errorf("sta: design %s has no constrained endpoints", n.Name)
+	}
+	res.WNS = res.Endpoints[0].SlackPS
+	for _, ep := range res.Endpoints {
+		if ep.SlackPS < 0 {
+			res.TNS += ep.SlackPS
+		}
+	}
+	// K worst paths (one per endpoint).
+	k := cfg.KPaths
+	if k > len(res.Endpoints) {
+		k = len(res.Endpoints)
+	}
+	for i := 0; i < k; i++ {
+		res.Paths = append(res.Paths, g.backtrace(res, res.Endpoints[i]))
+	}
+	return res, nil
+}
+
+// outSenses lists the output transitions an input transition can launch.
+func outSenses(u stdcell.Unate, inRise bool) []bool {
+	switch u {
+	case stdcell.Inverting:
+		return []bool{!inRise}
+	case stdcell.NonInverting:
+		return []bool{inRise}
+	default:
+		return []bool{true, false}
+	}
+}
+
+// backtrace reconstructs the critical path into an endpoint.
+func (g *Graph) backtrace(res *Result, ep Endpoint) Path {
+	p := Path{Endpoint: ep.Name, SlackPS: ep.SlackPS, ArrivalPS: ep.ArrivalPS}
+	net := ep.Net
+	rise := ep.Rise
+	var rev []PathPoint
+	for i := 0; i < len(g.Netlist.Gates)+2; i++ {
+		a := res.arr[net]
+		if a == nil {
+			break
+		}
+		pt := PathPoint{Net: net, Rise: rise}
+		if rise {
+			pt.ArrivalPS = a.atR
+		} else {
+			pt.ArrivalPS = a.atF
+		}
+		c := g.conns[net]
+		if c != nil && c.Driver.Gate >= 0 {
+			pt.Gate = g.Netlist.Gates[c.Driver.Gate].Name
+			pt.Cell = g.Netlist.Gates[c.Driver.Gate].Cell
+		}
+		rev = append(rev, pt)
+		var fromNet string
+		var fromRise bool
+		if rise {
+			fromNet, fromRise = a.fromNetR, a.fromRiseR
+		} else {
+			fromNet, fromRise = a.fromNetF, a.fromRiseF
+		}
+		if fromNet == "" {
+			break // startpoint (PI or flop Q)
+		}
+		net, rise = fromNet, fromRise
+	}
+	for i := len(rev) - 1; i >= 0; i-- {
+		p.Points = append(p.Points, rev[i])
+	}
+	return p
+}
+
+// ArrivalOf exposes a net's worst arrival (for tests and reports).
+func (r *Result) ArrivalOf(net string) (ps float64, ok bool) {
+	a := r.arr[net]
+	if a == nil || !a.valid {
+		return 0, false
+	}
+	return math.Max(a.atR, a.atF), true
+}
+
+// CriticalGates returns the union of gate names on the k worst paths — the
+// paper's "tagged critical gates".
+func (r *Result) CriticalGates(k int) []string {
+	if k > len(r.Paths) {
+		k = len(r.Paths)
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range r.Paths[:k] {
+		for _, gname := range p.Gates() {
+			if !seen[gname] {
+				seen[gname] = true
+				out = append(out, gname)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

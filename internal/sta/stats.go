@@ -1,0 +1,157 @@
+package sta
+
+import (
+	"math"
+	"sort"
+)
+
+// RankComparison quantifies how two analyses reorder the same endpoints —
+// the paper's "significant reordering of speed path criticality".
+type RankComparison struct {
+	// Spearman is the rank correlation coefficient of endpoint
+	// criticality (1 = identical order).
+	Spearman float64
+	// KendallTau is the pairwise-concordance correlation.
+	KendallTau float64
+	// TopNOverlap[n] is the fraction of the n most critical endpoints of
+	// `a` that also appear in the n most critical of `b`, for the
+	// requested n values.
+	TopNOverlap map[int]float64
+	// N is the number of common endpoints compared.
+	N int
+}
+
+// CompareOrders compares endpoint criticality between two results of the
+// same design. topNs selects the overlap set sizes to report.
+func CompareOrders(a, b *Result, topNs ...int) RankComparison {
+	rankA := ranks(a)
+	rankB := ranks(b)
+	// Common endpoints only (they should be identical sets).
+	var names []string
+	for name := range rankA {
+		if _, ok := rankB[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	n := len(names)
+	cmp := RankComparison{N: n, TopNOverlap: map[int]float64{}}
+	if n < 2 {
+		cmp.Spearman = 1
+		cmp.KendallTau = 1
+		for _, k := range topNs {
+			cmp.TopNOverlap[k] = 1
+		}
+		return cmp
+	}
+	// Spearman over rank vectors.
+	var d2 float64
+	for _, name := range names {
+		d := float64(rankA[name] - rankB[name])
+		d2 += d * d
+	}
+	nf := float64(n)
+	cmp.Spearman = 1 - 6*d2/(nf*(nf*nf-1))
+	// Kendall tau (O(n²); endpoint counts are small).
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := rankA[names[i]] - rankA[names[j]]
+			db := rankB[names[i]] - rankB[names[j]]
+			s := da * db
+			if s > 0 {
+				concordant++
+			} else if s < 0 {
+				discordant++
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	cmp.KendallTau = float64(concordant-discordant) / float64(pairs)
+	// Top-N overlaps.
+	for _, k := range topNs {
+		if k <= 0 {
+			continue
+		}
+		ka := topSet(a, k)
+		kb := topSet(b, k)
+		inter := 0
+		for name := range ka {
+			if kb[name] {
+				inter++
+			}
+		}
+		denom := len(ka)
+		if denom == 0 {
+			cmp.TopNOverlap[k] = 1
+			continue
+		}
+		cmp.TopNOverlap[k] = float64(inter) / float64(denom)
+	}
+	return cmp
+}
+
+// ranks assigns criticality ranks (0 = most critical) by ascending slack.
+func ranks(r *Result) map[string]int {
+	out := make(map[string]int, len(r.Endpoints))
+	for i, ep := range r.Endpoints {
+		out[ep.Name] = i
+	}
+	return out
+}
+
+func topSet(r *Result, k int) map[string]bool {
+	if k > len(r.Endpoints) {
+		k = len(r.Endpoints)
+	}
+	out := map[string]bool{}
+	for _, ep := range r.Endpoints[:k] {
+		out[ep.Name] = true
+	}
+	return out
+}
+
+// SlackShift summarizes the per-endpoint slack differences between a
+// baseline (e.g. drawn-CD) and a comparison (e.g. post-OPC annotated)
+// analysis.
+type SlackShift struct {
+	// WNSBase and WNSCmp are the worst slacks (ps).
+	WNSBase, WNSCmp float64
+	// WNSShiftPct is the relative change of worst-case slack in percent:
+	// 100·(WNSCmp − WNSBase)/|WNSBase|.
+	WNSShiftPct float64
+	// MeanAbsShiftPS is the mean |Δslack| over endpoints.
+	MeanAbsShiftPS float64
+	// MaxAbsShiftPS is the largest per-endpoint |Δslack|.
+	MaxAbsShiftPS float64
+}
+
+// CompareSlacks computes slack-shift statistics between two analyses of the
+// same design.
+func CompareSlacks(base, cmp *Result) SlackShift {
+	slackB := map[string]float64{}
+	for _, ep := range base.Endpoints {
+		slackB[ep.Name] = ep.SlackPS
+	}
+	out := SlackShift{WNSBase: base.WNS, WNSCmp: cmp.WNS}
+	if base.WNS != 0 {
+		out.WNSShiftPct = 100 * (cmp.WNS - base.WNS) / math.Abs(base.WNS)
+	}
+	n := 0
+	for _, ep := range cmp.Endpoints {
+		b, ok := slackB[ep.Name]
+		if !ok {
+			continue
+		}
+		d := math.Abs(ep.SlackPS - b)
+		out.MeanAbsShiftPS += d
+		if d > out.MaxAbsShiftPS {
+			out.MaxAbsShiftPS = d
+		}
+		n++
+	}
+	if n > 0 {
+		out.MeanAbsShiftPS /= float64(n)
+	}
+	return out
+}

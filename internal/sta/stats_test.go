@@ -1,0 +1,110 @@
+package sta
+
+import (
+	"math"
+	"testing"
+)
+
+func mkResult(names []string, slacks []float64) *Result {
+	r := &Result{}
+	for i, n := range names {
+		r.Endpoints = append(r.Endpoints, Endpoint{Name: n, SlackPS: slacks[i]})
+	}
+	// Sort ascending slack, like Analyze does.
+	for i := 0; i < len(r.Endpoints); i++ {
+		for j := i + 1; j < len(r.Endpoints); j++ {
+			if r.Endpoints[j].SlackPS < r.Endpoints[i].SlackPS {
+				r.Endpoints[i], r.Endpoints[j] = r.Endpoints[j], r.Endpoints[i]
+			}
+		}
+	}
+	r.WNS = r.Endpoints[0].SlackPS
+	return r
+}
+
+func TestCompareOrdersIdentical(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	slacks := []float64{10, 20, 30, 40, 50}
+	a := mkResult(names, slacks)
+	b := mkResult(names, slacks)
+	cmp := CompareOrders(a, b, 3)
+	if cmp.Spearman != 1 || cmp.KendallTau != 1 {
+		t.Fatalf("identical orders: %+v", cmp)
+	}
+	if cmp.TopNOverlap[3] != 1 {
+		t.Fatalf("overlap = %v", cmp.TopNOverlap)
+	}
+	if cmp.N != 5 {
+		t.Fatalf("N = %d", cmp.N)
+	}
+}
+
+func TestCompareOrdersReversed(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	a := mkResult(names, []float64{10, 20, 30, 40, 50})
+	b := mkResult(names, []float64{50, 40, 30, 20, 10})
+	cmp := CompareOrders(a, b, 2)
+	if math.Abs(cmp.Spearman-(-1)) > 1e-9 {
+		t.Fatalf("reversed Spearman = %g", cmp.Spearman)
+	}
+	if math.Abs(cmp.KendallTau-(-1)) > 1e-9 {
+		t.Fatalf("reversed Kendall = %g", cmp.KendallTau)
+	}
+	if cmp.TopNOverlap[2] != 0 {
+		t.Fatalf("reversed top-2 overlap = %v", cmp.TopNOverlap)
+	}
+}
+
+func TestCompareOrdersPartialShuffle(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	a := mkResult(names, []float64{1, 2, 3, 4, 5, 6})
+	// Swap the two most critical; keep the rest.
+	b := mkResult(names, []float64{2, 1, 3, 4, 5, 6})
+	cmp := CompareOrders(a, b, 2, 4)
+	if cmp.Spearman >= 1 || cmp.Spearman < 0.8 {
+		t.Fatalf("mild shuffle Spearman = %g", cmp.Spearman)
+	}
+	if cmp.TopNOverlap[2] != 1 { // same set, different order
+		t.Fatalf("top-2 overlap = %v", cmp.TopNOverlap)
+	}
+	if cmp.TopNOverlap[4] != 1 {
+		t.Fatalf("top-4 overlap = %v", cmp.TopNOverlap)
+	}
+}
+
+func TestCompareOrdersDegenerate(t *testing.T) {
+	a := mkResult([]string{"x"}, []float64{1})
+	b := mkResult([]string{"x"}, []float64{2})
+	cmp := CompareOrders(a, b, 1)
+	if cmp.Spearman != 1 || cmp.TopNOverlap[1] != 1 {
+		t.Fatalf("degenerate comparison: %+v", cmp)
+	}
+}
+
+func TestCompareSlacks(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	base := mkResult(names, []float64{100, 200, 300})
+	cmp := mkResult(names, []float64{140, 180, 330})
+	s := CompareSlacks(base, cmp)
+	if s.WNSBase != 100 || s.WNSCmp != 140 {
+		t.Fatalf("WNS fields: %+v", s)
+	}
+	if math.Abs(s.WNSShiftPct-40) > 1e-9 {
+		t.Fatalf("WNS shift = %g%%, want 40%%", s.WNSShiftPct)
+	}
+	if math.Abs(s.MeanAbsShiftPS-30) > 1e-9 {
+		t.Fatalf("mean |Δ| = %g", s.MeanAbsShiftPS)
+	}
+	if s.MaxAbsShiftPS != 40 {
+		t.Fatalf("max |Δ| = %g", s.MaxAbsShiftPS)
+	}
+}
+
+func TestCompareSlacksZeroBase(t *testing.T) {
+	base := mkResult([]string{"a"}, []float64{0})
+	cmp := mkResult([]string{"a"}, []float64{10})
+	s := CompareSlacks(base, cmp)
+	if s.WNSShiftPct != 0 {
+		t.Fatalf("zero-base shift should be 0, got %g", s.WNSShiftPct)
+	}
+}

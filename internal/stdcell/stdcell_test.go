@@ -1,0 +1,171 @@
+package stdcell
+
+import (
+	"strings"
+	"testing"
+
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/pdk"
+)
+
+func newLib(t *testing.T) *Library {
+	t.Helper()
+	lib, err := NewLibrary(pdk.N90())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestLibraryRoster(t *testing.T) {
+	lib := newLib(t)
+	must := []string{"INV_X1", "INV_X4", "BUF_X1", "NAND2_X1", "NAND3_X1",
+		"NOR2_X1", "AOI21_X1", "OAI21_X1", "XOR2_X1", "DFF_X1", "FILL_X1"}
+	for _, n := range must {
+		if _, err := lib.Get(n); err != nil {
+			t.Errorf("missing cell %s", n)
+		}
+	}
+	if _, err := lib.Get("NAND9_X9"); err == nil {
+		t.Error("expected error for unknown cell")
+	}
+	names := lib.Names()
+	if len(names) != len(lib.Cells) {
+		t.Fatal("Names() length mismatch")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names() not sorted")
+		}
+	}
+}
+
+func TestCellGeometrySanity(t *testing.T) {
+	lib := newLib(t)
+	p := lib.PDK
+	for _, name := range lib.Names() {
+		info := lib.Cells[name]
+		c := info.Layout
+		if c.Box.H() != p.Rules.CellHeightNM {
+			t.Errorf("%s: height %d != row height", name, c.Box.H())
+		}
+		if c.Box.W()%p.Rules.SiteWidthNM != 0 {
+			t.Errorf("%s: width %d not a site multiple", name, c.Box.W())
+		}
+		// All shapes inside the box.
+		for _, s := range c.Shapes {
+			if !c.Box.ContainsRect(s.Rect) {
+				t.Errorf("%s: %v shape %v escapes box %v", name, s.Layer, s.Rect, c.Box)
+			}
+		}
+		// Every gate site has the drawn gate length and positive width.
+		for _, g := range c.Gates {
+			if g.L() != p.Rules.GateLengthNM {
+				t.Errorf("%s/%s: L = %d", name, g.Name, g.L())
+			}
+			if g.W() <= 0 {
+				t.Errorf("%s/%s: W = %d", name, g.Name, g.W())
+			}
+		}
+	}
+}
+
+func TestGateSitesLieOnPolyAndDiffusion(t *testing.T) {
+	lib := newLib(t)
+	for _, name := range lib.Names() {
+		c := lib.Cells[name].Layout
+		poly := geom.RegionFromRects(c.ShapesOn(layout.LayerPoly)...)
+		diff := geom.RegionFromRects(c.ShapesOn(layout.LayerDiffusion)...)
+		gateRegion := poly.Intersect(diff)
+		for _, g := range c.Gates {
+			// The channel must be exactly a poly∩diffusion component.
+			got := gateRegion.Intersect(geom.RegionFromRects(g.Channel)).Area()
+			if got != g.Channel.Area() {
+				t.Errorf("%s/%s: channel %v not covered by poly∩diff", name, g.Name, g.Channel)
+			}
+		}
+	}
+}
+
+func TestGateCountsPerArchetype(t *testing.T) {
+	lib := newLib(t)
+	// X1 cells are unfolded: device count = 2 × strips.
+	wantStrips := map[string]int{
+		"INV_X1": 1, "BUF_X1": 2, "NAND2_X1": 2, "NAND3_X1": 3,
+		"NOR2_X1": 2, "NOR3_X1": 3, "AOI21_X1": 3, "OAI21_X1": 3,
+		"XOR2_X1": 4, "DFF_X1": 6,
+	}
+	for name, strips := range wantStrips {
+		c := lib.Cells[name]
+		if got := len(c.Layout.Gates); got < 2*strips {
+			t.Errorf("%s: %d gate sites, want >= %d", name, got, 2*strips)
+		}
+	}
+}
+
+func TestDriveScalesTotalWidth(t *testing.T) {
+	lib := newLib(t)
+	totalW := func(name string, k layout.DeviceKind) geom.Coord {
+		var s geom.Coord
+		for _, g := range lib.Cells[name].Layout.Gates {
+			if g.Kind == k && strings.HasPrefix(g.Name, "M") {
+				s += g.W()
+			}
+		}
+		return s
+	}
+	w1 := totalW("INV_X1", layout.NMOS)
+	w4 := totalW("INV_X4", layout.NMOS)
+	// Folding preserves total width within rounding.
+	if w4 < 3*w1 || w4 > 5*w1 {
+		t.Fatalf("INV_X4 total W = %d vs X1 %d", w4, w1)
+	}
+}
+
+func TestFoldingKeepsDevicesInCell(t *testing.T) {
+	lib := newLib(t)
+	inv8 := lib.Cells["INV_X8"]
+	if len(inv8.Layout.Gates) <= 2 {
+		t.Fatal("INV_X8 should be folded into multiple fingers")
+	}
+	// Folded fingers of one pin must be adjacent strips with the same pin.
+	for _, g := range inv8.Layout.Gates {
+		if g.Pin != "A" {
+			t.Fatalf("INV_X8 gate pin = %s", g.Pin)
+		}
+	}
+}
+
+func TestPinsAndKinds(t *testing.T) {
+	lib := newLib(t)
+	nand := lib.Cells["NAND2_X1"]
+	if nand.Output != "Y" || len(nand.Inputs) != 2 {
+		t.Fatalf("NAND2 interface = %v -> %s", nand.Inputs, nand.Output)
+	}
+	dff := lib.Cells["DFF_X1"]
+	if dff.Kind != Seq || dff.Output != "Q" {
+		t.Fatalf("DFF kind/output = %v/%s", dff.Kind, dff.Output)
+	}
+	fill := lib.Cells["FILL_X1"]
+	if fill.Kind != Fill || fill.Output != "" || len(fill.Layout.Gates) != 0 {
+		t.Fatal("FILL must have no pins or gates")
+	}
+}
+
+func TestPolyPitchRespected(t *testing.T) {
+	lib := newLib(t)
+	p := lib.PDK
+	c := lib.Cells["NAND3_X1"].Layout
+	xs := []geom.Coord{}
+	for _, g := range c.Gates {
+		if g.Kind == layout.NMOS {
+			xs = append(xs, g.Channel.X0)
+		}
+	}
+	for i := 1; i < len(xs); i++ {
+		if d := xs[i] - xs[i-1]; d != p.Rules.PolyPitchNM {
+			t.Fatalf("gate pitch %d != %d", d, p.Rules.PolyPitchNM)
+		}
+	}
+}

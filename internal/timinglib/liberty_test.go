@@ -1,0 +1,73 @@
+package timinglib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteLiberty(t *testing.T) {
+	lib, tl := env(t)
+	var buf bytes.Buffer
+	slews := []float64{10, 40, 120}
+	loads := []float64{2, 8, 24}
+	if err := tl.WriteLiberty(&buf, lib, nil, slews, loads); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"library (N90)",
+		"lu_table_template (tmpl_3x3)",
+		"cell (INV_X1)",
+		"cell (NAND2_X1)",
+		`related_pin : "A"`,
+		"timing_sense : negative_unate",
+		"timing_sense : non_unate", // XOR2
+		"cell_rise (tmpl_3x3)",
+		"cell_leakage_power",
+		"ff (IQ)", // DFF
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("liberty output missing %q", want)
+		}
+	}
+	// Fill cells are excluded.
+	if strings.Contains(out, "cell (FILL_X1)") {
+		t.Fatal("fill cell exported")
+	}
+	// Braces balance.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatalf("unbalanced braces: %d vs %d",
+			strings.Count(out, "{"), strings.Count(out, "}"))
+	}
+	// Each input pin of NAND3 contributes one timing arc.
+	n3 := out[strings.Index(out, "cell (NAND3_X1)"):]
+	n3 = n3[:strings.Index(n3, "\n  cell (")]
+	if got := strings.Count(n3, "timing ()"); got != 3 {
+		t.Fatalf("NAND3 arcs = %d, want 3", got)
+	}
+}
+
+func TestWriteLibertyAnnotated(t *testing.T) {
+	lib, tl := env(t)
+	var drawn, fast bytes.Buffer
+	slews := []float64{10, 40}
+	loads := []float64{2, 8}
+	if err := tl.WriteLiberty(&drawn, lib, nil, slews, loads); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.WriteLiberty(&fast, lib, Uniform(80), slews, loads); err != nil {
+		t.Fatal(err)
+	}
+	if drawn.String() == fast.String() {
+		t.Fatal("annotated library must differ from drawn")
+	}
+}
+
+func TestWriteLibertyBadGrid(t *testing.T) {
+	lib, tl := env(t)
+	var buf bytes.Buffer
+	if err := tl.WriteLiberty(&buf, lib, nil, []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate grid accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package timinglib
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is an NLDM-style 2-D lookup table: delay (or slew) indexed by input
+// slew and output load, bilinearly interpolated, with clamped extrapolation
+// at the grid edges — the representation sign-off libraries ship.
+type Table struct {
+	// SlewsPS and LoadsFF are the ascending index vectors.
+	SlewsPS []float64
+	LoadsFF []float64
+	// Values[i][j] corresponds to SlewsPS[i], LoadsFF[j].
+	Values [][]float64
+}
+
+// CellTables bundles the four NLDM tables of a combinational arc set.
+type CellTables struct {
+	DelayRise, DelayFall *Table
+	SlewRise, SlewFall   *Table
+}
+
+// BuildTables samples the analytic model into NLDM tables on the given
+// grid. All cells in this library share arc topology, so one table set per
+// cell (per annotation) is enough.
+func (tl *Lib) BuildTables(ev Eval, slewsPS, loadsFF []float64) (CellTables, error) {
+	if len(slewsPS) < 2 || len(loadsFF) < 2 {
+		return CellTables{}, fmt.Errorf("timinglib: table grid needs at least 2x2 points")
+	}
+	if !sort.Float64sAreSorted(slewsPS) || !sort.Float64sAreSorted(loadsFF) {
+		return CellTables{}, fmt.Errorf("timinglib: table index vectors must be ascending")
+	}
+	mk := func(rise, slew bool) *Table {
+		t := &Table{
+			SlewsPS: append([]float64(nil), slewsPS...),
+			LoadsFF: append([]float64(nil), loadsFF...),
+		}
+		for _, s := range slewsPS {
+			row := make([]float64, 0, len(loadsFF))
+			for _, l := range loadsFF {
+				d, os := tl.ArcDelay(ev, rise, l, s)
+				if slew {
+					row = append(row, os)
+				} else {
+					row = append(row, d)
+				}
+			}
+			t.Values = append(t.Values, row)
+		}
+		return t
+	}
+	return CellTables{
+		DelayRise: mk(true, false),
+		DelayFall: mk(false, false),
+		SlewRise:  mk(true, true),
+		SlewFall:  mk(false, true),
+	}, nil
+}
+
+// Lookup bilinearly interpolates the table (clamping outside the grid).
+func (t *Table) Lookup(slewPS, loadFF float64) float64 {
+	i := bracket(t.SlewsPS, slewPS)
+	j := bracket(t.LoadsFF, loadFF)
+	s0, s1 := t.SlewsPS[i], t.SlewsPS[i+1]
+	l0, l1 := t.LoadsFF[j], t.LoadsFF[j+1]
+	ts := clamp01((slewPS - s0) / (s1 - s0))
+	tlod := clamp01((loadFF - l0) / (l1 - l0))
+	v00 := t.Values[i][j]
+	v01 := t.Values[i][j+1]
+	v10 := t.Values[i+1][j]
+	v11 := t.Values[i+1][j+1]
+	return v00*(1-ts)*(1-tlod) + v01*(1-ts)*tlod + v10*ts*(1-tlod) + v11*ts*tlod
+}
+
+// bracket returns the lower index of the interval containing v (clamped).
+func bracket(xs []float64, v float64) int {
+	i := sort.SearchFloat64s(xs, v) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i > len(xs)-2 {
+		i = len(xs) - 2
+	}
+	return i
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
