@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+# The full pre-merge gate: compile everything, vet, run the suite, then
+# run it again under the race detector (the parallel extraction / ORC /
+# Monte Carlo paths are exercised concurrently by the flow tests).
+check: build vet test race

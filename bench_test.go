@@ -673,6 +673,47 @@ func BenchmarkExt_FullChipORC(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_MCWorkers sweeps the Monte Carlo worker count on the
+// evaluation design: workers=1 is the serial baseline, workers=0 the
+// GOMAXPROCS default (the speedup BenchmarkE7_CornerVsMonteCarlo inherits).
+// Results are seed-deterministic and identical across the sweep.
+func BenchmarkAblation_MCWorkers(b *testing.B) {
+	f := getFixtures(b)
+	exts := f.extractions(b)
+	vm, err := flow.BuildVariationModel(exts, f.kit.Window, f.kit.Device.SigmaLRandomNM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := vm.MonteCarloWorkers(f.graph, f.cfg, 200, 1, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_ORCWorkers sweeps the tile worker count of the
+// full-chip ORC pass (the speedup BenchmarkExt_FullChipORC inherits).
+func BenchmarkAblation_ORCWorkers(b *testing.B) {
+	f := getFixtures(b)
+	pl, err := f.flw.Place(netlist.RippleCarryAdder(8), place.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.flw.VerifyChip(pl.Chip, flow.ORCOptions{Mode: flow.OPCModel, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkExt_SSTA validates first-order canonical statistical timing
 // against Monte Carlo on the evaluation design — the "more rigorous
 // statistical timing" direction the paper's abstract points at.

@@ -38,6 +38,7 @@ func main() {
 	contacts := flag.Bool("contacts", false, "multi-layer extraction: annotate contact resistance too")
 	wires := flag.Bool("wires", false, "use placement-derived (HPWL) wire loads instead of flat per-fanout caps")
 	libOut := flag.String("lib", "", "export a Liberty-flavored .lib of the drawn library to this file")
+	jobs := flag.Int("j", 0, "worker goroutines for extraction, ORC and Monte Carlo (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
 	flag.Parse()
 
 	n, err := loadNetlist(*file, *design, *size, *seed)
@@ -92,6 +93,7 @@ func main() {
 		Mode:    opcMode,
 		Corners: flow.VariationCorners(p.Window),
 		TagTopK: *topk,
+		Workers: *jobs,
 	})
 	if err != nil {
 		fatal(err)
@@ -182,7 +184,7 @@ func main() {
 	}
 
 	if *orc {
-		rep, err := f.VerifyChip(res.Place.Chip, flow.ORCOptions{Mode: opcMode})
+		rep, err := f.VerifyChip(res.Place.Chip, flow.ORCOptions{Mode: opcMode, Workers: *jobs})
 		if err != nil {
 			fatal(err)
 		}
@@ -206,7 +208,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		mcr, err := vm.MonteCarlo(res.Graph, cfg, *mc, 1)
+		mcr, err := vm.MonteCarloWorkers(res.Graph, cfg, *mc, 1, *jobs)
 		if err != nil {
 			fatal(err)
 		}

@@ -2,6 +2,7 @@ package flow
 
 import (
 	"fmt"
+	"sort"
 
 	"postopc/internal/layout"
 	"postopc/internal/litho"
@@ -52,6 +53,8 @@ type RunOptions struct {
 	// TagTopK restricts extraction to the gates on the K worst drawn-CD
 	// paths (the paper's critical-gate tagging). 0 extracts every gate.
 	TagTopK int
+	// Workers bounds extraction concurrency (0 = GOMAXPROCS, 1 = serial).
+	Workers int
 }
 
 // RunResult is the pipeline outcome.
@@ -101,7 +104,7 @@ func (f *Flow) Run(n *netlist.Netlist, opt RunOptions) (*RunResult, error) {
 	if opt.TagTopK > 0 {
 		tagged = drawn.CriticalGates(opt.TagTopK)
 	}
-	extrs, err := f.ExtractGates(pl.Chip, tagged, ExtractOptions{Corners: opt.Corners, Mode: opt.Mode})
+	extrs, err := f.ExtractGates(pl.Chip, tagged, ExtractOptions{Corners: opt.Corners, Mode: opt.Mode, Workers: opt.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +112,8 @@ func (f *Flow) Run(n *netlist.Netlist, opt RunOptions) (*RunResult, error) {
 		for name := range extrs {
 			tagged = append(tagged, name)
 		}
+		// Map iteration order is random; keep reports reproducible.
+		sort.Strings(tagged)
 	}
 	annotated, err := g.Analyze(opt.STA, Annotations(extrs, 0))
 	if err != nil {

@@ -43,18 +43,14 @@ type ContactExtraction struct {
 	Failed int
 }
 
-// contactModel lazily builds the dark-field Abbe model (contacts are
+// contactModel builds the dark-field Abbe model exactly once (contacts are
 // always verified with the physical model; the fitted Gaussian is a
-// clear-field poly model).
+// clear-field poly model). Safe for concurrent callers.
 func (f *Flow) contactModel() (litho.Model, error) {
-	if f.contactSim == nil {
-		m, err := litho.NewAbbe(f.PDK.ContactLitho())
-		if err != nil {
-			return nil, err
-		}
-		f.contactSim = m
-	}
-	return f.contactSim, nil
+	f.lazy.contactOnce.Do(func() {
+		f.lazy.contact, f.lazy.contactErr = litho.NewAbbe(f.PDK.ContactLitho())
+	})
+	return f.lazy.contact, f.lazy.contactErr
 }
 
 // ExtractContacts images the contact layer around one instance and

@@ -2,16 +2,15 @@ package flow
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"postopc/internal/cdx"
 	"postopc/internal/geom"
 	"postopc/internal/layout"
 	"postopc/internal/litho"
 	"postopc/internal/opc"
+	"postopc/internal/par"
 )
 
 // CornerCD is one gate site's extraction under one process corner.
@@ -64,6 +63,9 @@ type ExtractOptions struct {
 	Corners []litho.Corner
 	// Mode selects the OPC applied to each window.
 	Mode OPCMode
+	// Workers bounds instance-level concurrency in ExtractGates
+	// (0 = GOMAXPROCS, 1 = serial).
+	Workers int
 }
 
 // ExtractInstance runs the window pipeline for one placed instance:
@@ -115,7 +117,10 @@ func (f *Flow) ExtractInstance(chip *layout.Chip, inst *layout.Instance, opt Ext
 		if err != nil {
 			return nil, err
 		}
-		out.EPEValues = interiorEPEs(frags, epes, window.Expand(-recipe.GuardNM))
+		out.EPEValues, err = interiorEPEs(frags, epes, window.Expand(-recipe.GuardNM))
+		if err != nil {
+			return nil, fmt.Errorf("flow: rule OPC on %s: %w", inst.Name, err)
+		}
 		out.EPE = opc.SummarizeEPE(out.EPEValues, 8)
 	case OPCModel:
 		res, err := opc.ModelBased(f.OPCModelSim, drawn, nil, f.OPCOpt)
@@ -123,7 +128,10 @@ func (f *Flow) ExtractInstance(chip *layout.Chip, inst *layout.Instance, opt Ext
 			return nil, fmt.Errorf("flow: model OPC on %s: %w", inst.Name, err)
 		}
 		mask = res.Polygons
-		out.EPEValues = interiorEPEs(res.Fragmented, res.FinalEPE, window.Expand(-recipe.GuardNM))
+		out.EPEValues, err = interiorEPEs(res.Fragmented, res.FinalEPE, window.Expand(-recipe.GuardNM))
+		if err != nil {
+			return nil, fmt.Errorf("flow: model OPC on %s: %w", inst.Name, err)
+		}
 		out.EPE = opc.SummarizeEPE(out.EPEValues, 8)
 	}
 
@@ -179,22 +187,27 @@ func (f *Flow) verifyEPE(corrected, drawn []geom.Polygon) ([]*opc.FragmentedPoly
 // interiorEPEs keeps only the EPE samples whose fragment control point lies
 // inside the interior rectangle: fragments created by clipping shapes at
 // the simulation-window boundary measure the clear-field roll-off, not OPC
-// quality.
-func interiorEPEs(frags []*opc.FragmentedPolygon, epes []float64, interior geom.Rect) []float64 {
+// quality. A sample/fragment count mismatch is an explicit error — EPE
+// statistics must never be quietly computed over a truncated sample set.
+func interiorEPEs(frags []*opc.FragmentedPolygon, epes []float64, interior geom.Rect) ([]float64, error) {
+	total := 0
+	for _, fp := range frags {
+		total += len(fp.Frags)
+	}
+	if total != len(epes) {
+		return nil, fmt.Errorf("%d EPE samples for %d fragments", len(epes), total)
+	}
 	var out []float64
 	i := 0
 	for _, fp := range frags {
 		for _, fr := range fp.Frags {
-			if i >= len(epes) {
-				return out
-			}
 			if interior.Contains(fr.Control) {
 				out = append(out, epes[i])
 			}
 			i++
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ExtractGates runs ExtractInstance for the named gates (or all netlist
@@ -220,31 +233,26 @@ func (f *Flow) ExtractGates(chip *layout.Chip, names []string, opt ExtractOption
 		insts[i] = inst
 	}
 	chip.BuildIndex()
-	if f.RuleTab == nil && opt.Mode == OPCRule {
+	if opt.Mode == OPCRule {
 		if _, err := f.ruleTable(); err != nil {
 			return nil, err
 		}
 	}
 
 	exts := make([]*GateExtraction, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range names {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			exts[i], errs[i] = f.ExtractInstance(chip, insts[i], opt)
-		}(i)
+	err := par.ForEach(len(names), func(i int) error {
+		ext, err := f.ExtractInstance(chip, insts[i], opt)
+		if err != nil {
+			return err
+		}
+		exts[i] = ext
+		return nil
+	}, par.Workers(opt.Workers))
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	out := make(map[string]*GateExtraction, len(names))
 	for i, name := range names {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
 		out[name] = exts[i]
 	}
 	return out, nil

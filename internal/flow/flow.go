@@ -8,6 +8,8 @@
 package flow
 
 import (
+	"sync"
+
 	"postopc/internal/geom"
 	"postopc/internal/layout"
 	"postopc/internal/litho"
@@ -63,11 +65,27 @@ type Flow struct {
 	OPCOpt opc.Options
 	// CDX configures gate CD extraction.
 	CDX cdxOptions
-	// RuleTab is the rule-based OPC deck (built lazily on first use).
+	// RuleTab optionally pre-seeds the rule-based OPC deck; when nil the
+	// deck is built lazily (and race-safely) on first use.
 	RuleTab *opc.RuleTable
 
-	// contactSim is the dark-field contact-layer model (built lazily).
-	contactSim litho.Model
+	// lazy holds the members built on first use. It is a pointer so that
+	// shallow copies of a Flow (e.g. per-sweep option tweaks) share one
+	// build, and so the struct stays free of copyable locks.
+	lazy *lazyInits
+}
+
+// lazyInits guards the Flow members that are built on first use. Concurrent
+// extraction and verification workers all funnel through it, so a
+// half-written pointer or double build cannot be observed.
+type lazyInits struct {
+	ruleOnce sync.Once
+	rule     *opc.RuleTable
+	ruleErr  error
+
+	contactOnce sync.Once
+	contact     litho.Model
+	contactErr  error
 }
 
 // small aliases keep the struct doc readable without extra imports in docs
@@ -120,6 +138,7 @@ func New(p *pdk.PDK, cfg Config) (*Flow, error) {
 			ScanHalfNM:   float64(p.Rules.PolyPitchNM) / 2,
 			EdgeMarginNM: 25,
 		},
+		lazy: &lazyInits{},
 	}, nil
 }
 
@@ -133,22 +152,21 @@ func (f *Flow) BuildGraph(n *netlist.Netlist) (*sta.Graph, error) {
 	return sta.Build(n, f.Lib, f.TL)
 }
 
-// ruleTable lazily builds the rule-based OPC deck from the OPC model.
+// ruleTable returns the rule-based OPC deck, building it from the OPC model
+// exactly once — safe for concurrent callers.
 func (f *Flow) ruleTable() (*opc.RuleTable, error) {
 	if f.RuleTab != nil {
 		return f.RuleTab, nil
 	}
-	w := f.PDK.Rules.GateLengthNM
-	spaces := []geom.Coord{
-		f.PDK.Rules.PolySpaceNM,
-		f.PDK.Rules.PolyPitchNM - w,
-		2*f.PDK.Rules.PolyPitchNM - w,
-		4 * f.PDK.Rules.PolyPitchNM,
-	}
-	rt, err := opc.BuildRuleTable(f.OPCModelSim, w, spaces)
-	if err != nil {
-		return nil, err
-	}
-	f.RuleTab = rt
-	return rt, nil
+	f.lazy.ruleOnce.Do(func() {
+		w := f.PDK.Rules.GateLengthNM
+		spaces := []geom.Coord{
+			f.PDK.Rules.PolySpaceNM,
+			f.PDK.Rules.PolyPitchNM - w,
+			2*f.PDK.Rules.PolyPitchNM - w,
+			4 * f.PDK.Rules.PolyPitchNM,
+		}
+		f.lazy.rule, f.lazy.ruleErr = opc.BuildRuleTable(f.OPCModelSim, w, spaces)
+	})
+	return f.lazy.rule, f.lazy.ruleErr
 }

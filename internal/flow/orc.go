@@ -8,6 +8,7 @@ import (
 	"postopc/internal/layout"
 	"postopc/internal/litho"
 	"postopc/internal/opc"
+	"postopc/internal/par"
 )
 
 // The abstract argues for a "post-OPC verification embedded design flow":
@@ -79,6 +80,10 @@ type ORCOptions struct {
 	// kit's poly endcap extension minus 20nm — more than that and the
 	// retreat threatens the channel).
 	MaxPullbackNM float64
+	// Workers bounds tile-level concurrency (0 = GOMAXPROCS, 1 = serial).
+	// The report is identical for every worker count: tiles are merged in
+	// row-major order before hotspots are sorted.
+	Workers int
 }
 
 // ORCReport is the outcome of VerifyChip.
@@ -116,17 +121,43 @@ func (f *Flow) VerifyChip(chip *layout.Chip, opt ORCOptions) (*ORCReport, error)
 	recipe := f.VerifySim.Recipe()
 	guard := recipe.GuardNM
 	die := chip.Die
-	rep := &ORCReport{ByKind: map[HotspotKind]int{}}
-	for ty := die.Y0; ty < die.Y1; ty += opt.TileNM {
-		for tx := die.X0; tx < die.X1; tx += opt.TileNM {
-			tile := geom.R(tx, ty, minC(tx+opt.TileNM, die.X1), minC(ty+opt.TileNM, die.Y1))
-			if err := f.verifyTile(chip, tile, guard, opt, rep); err != nil {
-				return nil, err
-			}
-			rep.Tiles++
+	// Build shared state up front so the tile workers only read: the
+	// chip's spatial index and (for rule mode) the OPC deck.
+	chip.BuildIndex()
+	if opt.Mode == OPCRule {
+		if _, err := f.ruleTable(); err != nil {
+			return nil, err
 		}
 	}
-	sort.Slice(rep.Hotspots, func(i, j int) bool {
+	var tiles []geom.Rect // row-major: the deterministic merge order
+	for ty := die.Y0; ty < die.Y1; ty += opt.TileNM {
+		for tx := die.X0; tx < die.X1; tx += opt.TileNM {
+			tiles = append(tiles, geom.R(tx, ty, minC(tx+opt.TileNM, die.X1), minC(ty+opt.TileNM, die.Y1)))
+		}
+	}
+	shards := make([]*ORCReport, len(tiles))
+	err := par.ForEach(len(tiles), func(i int) error {
+		shard := &ORCReport{ByKind: map[HotspotKind]int{}}
+		if err := f.verifyTile(chip, tiles[i], guard, opt, shard); err != nil {
+			return err
+		}
+		shards[i] = shard
+		return nil
+	}, par.Workers(opt.Workers))
+	if err != nil {
+		return nil, err
+	}
+	rep := &ORCReport{ByKind: map[HotspotKind]int{}, Tiles: len(tiles)}
+	for _, shard := range shards {
+		rep.Hotspots = append(rep.Hotspots, shard.Hotspots...)
+		rep.ScannedCDs += shard.ScannedCDs
+		for k, c := range shard.ByKind {
+			rep.ByKind[k] += c
+		}
+	}
+	// Stable sort over the row-major merge: hotspot ordering is
+	// reproducible across runs and worker counts even under severity ties.
+	sort.SliceStable(rep.Hotspots, func(i, j int) bool {
 		a, b := rep.Hotspots[i], rep.Hotspots[j]
 		if a.Kind != b.Kind {
 			return a.Kind < b.Kind

@@ -1,0 +1,139 @@
+package flow
+
+// Concurrency and determinism coverage for the parallel hot loops: tiled
+// ORC, gate extraction, and the Flow's lazily built members. Run with
+// -race to exercise the synchronization (see `make check`).
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"postopc/internal/geom"
+	"postopc/internal/litho"
+	"postopc/internal/netlist"
+	"postopc/internal/opc"
+	"postopc/internal/pdk"
+	"postopc/internal/place"
+)
+
+func TestVerifyChipParallelMatchesSerial(t *testing.T) {
+	f := fastFlow(t)
+	pl, err := f.Place(netlist.InverterChain(4), place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overdose without OPC produces real hotspots, so the deterministic
+	// merge and stable severity sort are actually exercised.
+	opt := ORCOptions{
+		Corners: []litho.Corner{{DefocusNM: 0, Dose: 1.8}, litho.Nominal},
+		Mode:    OPCNone,
+		TileNM:  3000, // several tiles even on the small test chip
+	}
+	optSerial := opt
+	optSerial.Workers = 1
+	serial, err := f.VerifyChip(pl.Chip, optSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Hotspots) == 0 || serial.Tiles < 2 {
+		t.Fatalf("fixture too weak to test merging: %d hotspots over %d tiles",
+			len(serial.Hotspots), serial.Tiles)
+	}
+	for _, workers := range []int{0, 2, 5} {
+		optPar := opt
+		optPar.Workers = workers
+		parallel, err := f.VerifyChip(pl.Chip, optPar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("workers=%d: parallel ORC report diverged from serial:\nserial   %+v\nparallel %+v",
+				workers, serial, parallel)
+		}
+	}
+}
+
+func TestExtractGatesParallelMatchesSerial(t *testing.T) {
+	f := fastFlow(t)
+	pl, err := f.Place(netlist.InverterChain(5), place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := ExtractOptions{Mode: OPCModel, Workers: 1}
+	serial, err := f.ExtractGates(pl.Chip, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	parallel, err := f.ExtractGates(pl.Chip, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel extraction diverged from serial")
+	}
+}
+
+// TestConcurrentLazyInits hammers a fresh Flow's lazily built members —
+// the rule-OPC deck (via rule-mode ExtractInstance) and the dark-field
+// contact model (via ExtractContacts) — from many goroutines at once. With
+// -race this proves first use is safe by construction.
+func TestConcurrentLazyInits(t *testing.T) {
+	f, err := New(pdk.N90(), Config{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := f.Place(netlist.InverterChain(3), place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Chip.BuildIndex()
+	inst := pl.Chip.FindInstance("u1")
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				_, errs[i] = f.ExtractInstance(pl.Chip, inst, ExtractOptions{Mode: OPCRule})
+			} else {
+				_, errs[i] = f.ExtractContacts(pl.Chip, inst, litho.Nominal)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+}
+
+func TestInteriorEPEsRejectsTruncatedSamples(t *testing.T) {
+	frag := func(x, y geom.Coord) *opc.Fragment {
+		return &opc.Fragment{Control: geom.Pt(x, y)}
+	}
+	frags := []*opc.FragmentedPolygon{
+		{Frags: []*opc.Fragment{frag(10, 10), frag(20, 10)}},
+		{Frags: []*opc.Fragment{frag(500, 500)}},
+	}
+	interior := geom.R(0, 0, 100, 100)
+	// Matching counts: only the two interior control points survive.
+	out, err := interiorEPEs(frags, []float64{1, 2, 3}, interior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != 1 || out[1] != 2 {
+		t.Fatalf("interior EPEs = %v", out)
+	}
+	// A short sample vector used to be silently truncated; now it must
+	// fail loudly.
+	if _, err := interiorEPEs(frags, []float64{1, 2}, interior); err == nil {
+		t.Fatal("short EPE vector accepted")
+	}
+	if _, err := interiorEPEs(frags, []float64{1, 2, 3, 4}, interior); err == nil {
+		t.Fatal("long EPE vector accepted")
+	}
+}

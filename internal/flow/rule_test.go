@@ -31,8 +31,15 @@ func TestExtractInstanceRuleOPC(t *testing.T) {
 	if ext.EPE.Count == 0 {
 		t.Fatal("rule-OPC EPE report empty")
 	}
-	// The rule table is cached on the flow.
-	if f.RuleTab == nil || len(f.RuleTab.SpacesNM) == 0 {
+	// The rule table is built once and cached on the flow.
+	rt1, err := f.ruleTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt1 == nil || len(rt1.SpacesNM) == 0 {
+		t.Fatal("rule table not built")
+	}
+	if rt2, _ := f.ruleTable(); rt2 != rt1 {
 		t.Fatal("rule table not cached")
 	}
 	// OPCNone stringer too.

@@ -8,6 +8,7 @@ import (
 
 	"postopc/internal/layout"
 	"postopc/internal/litho"
+	"postopc/internal/par"
 	"postopc/internal/sta"
 	"postopc/internal/timinglib"
 )
@@ -224,37 +225,70 @@ type MCResult struct {
 	MeanWNS, StdWNS float64
 }
 
-// Percentile returns the p-quantile (0..1) of the WNS distribution.
+// Percentile returns the p-quantile (0..1) of the WNS distribution by
+// linear interpolation between order statistics. Truncating the fractional
+// rank (the previous behaviour) biased every reported quantile toward the
+// lower order statistic.
 func (m MCResult) Percentile(p float64) float64 {
-	if len(m.WNS) == 0 {
+	n := len(m.WNS)
+	if n == 0 {
 		return math.NaN()
 	}
-	i := int(p * float64(len(m.WNS)-1))
-	if i < 0 {
-		i = 0
+	if p <= 0 {
+		return m.WNS[0]
 	}
-	if i >= len(m.WNS) {
-		i = len(m.WNS) - 1
+	if p >= 1 {
+		return m.WNS[n-1]
 	}
-	return m.WNS[i]
+	x := p * float64(n-1)
+	i := int(x)
+	if i >= n-1 {
+		return m.WNS[n-1]
+	}
+	frac := x - float64(i)
+	return m.WNS[i] + frac*(m.WNS[i+1]-m.WNS[i])
 }
 
 // MonteCarlo samples process excursions (focus ~ N(0, F/3), dose ~
-// N(1, Δd/3), per-site random CD ~ N(0, σ)) and re-runs STA per sample.
+// N(1, Δd/3), per-site random CD ~ N(0, σ)) and re-runs STA per sample,
+// fanning samples out over up to GOMAXPROCS workers. See MonteCarloWorkers
+// for the determinism contract and explicit worker control.
 func (vm *VariationModel) MonteCarlo(g *sta.Graph, cfg sta.Config, samples int, seed int64) (MCResult, error) {
-	rnd := rand.New(rand.NewSource(seed))
+	return vm.MonteCarloWorkers(g, cfg, samples, seed, 0)
+}
+
+// MonteCarloWorkers is MonteCarlo with an explicit worker bound
+// (0 = GOMAXPROCS, 1 = serial). The result depends only on the seed, never
+// on the worker count: each sample's RNG stream is seeded up front from a
+// master stream over the given seed, samples are merged in sample order,
+// and only then are the WNS/Leak distributions sorted.
+func (vm *VariationModel) MonteCarloWorkers(g *sta.Graph, cfg sta.Config, samples int, seed int64, workers int) (MCResult, error) {
 	var out MCResult
-	for s := 0; s < samples; s++ {
+	if samples <= 0 {
+		return out, nil
+	}
+	master := rand.New(rand.NewSource(seed))
+	seeds := make([]int64, samples)
+	for s := range seeds {
+		seeds[s] = master.Int63()
+	}
+	wns := make([]float64, samples)
+	leak := make([]float64, samples)
+	err := par.ForEach(samples, func(s int) error {
+		rnd := rand.New(rand.NewSource(seeds[s]))
 		f := rnd.NormFloat64() * vm.PW.DefocusNM / 3
 		d := 1 + rnd.NormFloat64()*vm.PW.DoseFrac/3
-		ann := vm.Annotations(f, d, rnd)
-		res, err := g.Analyze(cfg, ann)
+		res, err := g.Analyze(cfg, vm.Annotations(f, d, rnd))
 		if err != nil {
-			return out, err
+			return err
 		}
-		out.WNS = append(out.WNS, res.WNS)
-		out.Leak = append(out.Leak, res.LeakNW)
+		wns[s], leak[s] = res.WNS, res.LeakNW
+		return nil
+	}, par.Workers(workers))
+	if err != nil {
+		return out, err
 	}
+	out.WNS, out.Leak = wns, leak
 	sort.Float64s(out.WNS)
 	sort.Float64s(out.Leak)
 	var sum float64

@@ -1,0 +1,101 @@
+package flow
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"postopc/internal/sta"
+)
+
+func TestPercentileInterpolates(t *testing.T) {
+	// 0..100: the p-quantile of this grid is exactly 100p.
+	grid := MCResult{}
+	for i := 0; i <= 100; i++ {
+		grid.WNS = append(grid.WNS, float64(i))
+	}
+	cases := []struct {
+		name string
+		m    MCResult
+		p    float64
+		want float64
+	}{
+		{"midpoint of two", MCResult{WNS: []float64{10, 20}}, 0.5, 15},
+		{"grid p50", grid, 0.50, 50},
+		{"grid p25", grid, 0.25, 25},
+		{"grid p10", grid, 0.10, 10},
+		{"grid p1", grid, 0.01, 1},
+		{"fractional rank", MCResult{WNS: []float64{1, 2, 3, 4}}, 0.5, 2.5},
+		{"between samples", MCResult{WNS: []float64{0, 10, 20, 30}}, 0.4, 12},
+		{"p0 is min", MCResult{WNS: []float64{3, 7, 9}}, 0, 3},
+		{"p1 is max", MCResult{WNS: []float64{3, 7, 9}}, 1, 9},
+		{"clamp below", MCResult{WNS: []float64{3, 7}}, -0.5, 3},
+		{"clamp above", MCResult{WNS: []float64{3, 7}}, 1.5, 7},
+		{"single sample", MCResult{WNS: []float64{42}}, 0.3, 42},
+	}
+	for _, c := range cases {
+		if got := c.m.Percentile(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Percentile(%g) = %g, want %g", c.name, c.p, got, c.want)
+		}
+	}
+	if got := (MCResult{}).Percentile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty Percentile = %g, want NaN", got)
+	}
+}
+
+func TestPercentileNotTruncationBiased(t *testing.T) {
+	// The old int(p·(n−1)) truncation mapped p=0.5 of {1,2,3,4} to the
+	// second order statistic (2); interpolation must give 2.5.
+	m := MCResult{WNS: []float64{1, 2, 3, 4}}
+	if got := m.Percentile(0.5); got != 2.5 {
+		t.Fatalf("median of {1,2,3,4} = %g, want 2.5", got)
+	}
+}
+
+func TestMonteCarloParallelMatchesSerial(t *testing.T) {
+	res := fullRun(t)
+	f := fastFlow(t)
+	vm, err := BuildVariationModel(res.Extractions, f.PDK.Window, f.PDK.Device.SigmaLRandomNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sta.DefaultConfig(1500)
+	serial, err := vm.MonteCarloWorkers(res.Graph, cfg, 48, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 5} {
+		parallel, err := vm.MonteCarloWorkers(res.Graph, cfg, 48, 7, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("workers=%d: parallel Monte Carlo diverged from serial:\nserial   %+v\nparallel %+v",
+				workers, serial, parallel)
+		}
+	}
+	// The default entry point is the same computation.
+	def, err := vm.MonteCarlo(res.Graph, cfg, 48, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, def) {
+		t.Fatal("MonteCarlo diverged from MonteCarloWorkers with equal seed")
+	}
+}
+
+func TestMonteCarloNoSamples(t *testing.T) {
+	res := fullRun(t)
+	f := fastFlow(t)
+	vm, err := BuildVariationModel(res.Extractions, f.PDK.Window, f.PDK.Device.SigmaLRandomNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := vm.MonteCarlo(res.Graph, sta.DefaultConfig(1500), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.WNS) != 0 || len(mc.Leak) != 0 {
+		t.Fatalf("zero-sample MC returned data: %+v", mc)
+	}
+}

@@ -1,0 +1,100 @@
+// Package par provides the bounded worker pool shared by the flow's hot
+// loops (Monte Carlo timing, full-chip ORC, per-gate extraction): an
+// ordered fan-out over index-addressed work with deterministic error
+// collection.
+//
+// Determinism contract: ForEach(n, fn) invokes fn for indices 0..n-1 and
+// callers write results into index-addressed slots, so the assembled output
+// is independent of worker count and scheduling. On failure the error of
+// the lowest failing index is returned — the same error a serial loop
+// would surface — regardless of which worker hit it first.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configure one fan-out run.
+type Options struct {
+	workers int
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// Workers bounds the number of concurrent workers. n <= 0 selects
+// runtime.GOMAXPROCS(0); n == 1 degrades to a plain serial loop.
+func Workers(n int) Option {
+	return func(o *Options) { o.workers = n }
+}
+
+// ForEach invokes fn(i) for every i in [0, n), running at most the
+// configured number of workers concurrently (GOMAXPROCS by default). All
+// invocations have returned when ForEach returns.
+//
+// Indices are claimed in ascending order. Once any invocation fails,
+// not-yet-claimed indices are skipped; because every index below a failing
+// one has already been claimed and runs to completion, the returned error
+// is always the one from the lowest failing index, independent of worker
+// count.
+func ForEach(n int, fn func(i int) error, opts ...Option) error {
+	if n <= 0 {
+		return nil
+	}
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	workers := o.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				// The failure check precedes the claim: a claimed index
+				// always runs. Claims ascend, so when the first-completing
+				// failure (index j) raises the flag, every index below j —
+				// including the lowest failing one — was already claimed
+				// and will record its own error.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

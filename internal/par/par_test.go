@@ -1,0 +1,134 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 257
+		counts := make([]int32, n)
+		err := ForEach(n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}, Workers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachOrderedResults(t *testing.T) {
+	const n = 64
+	out := make([]int, n)
+	if err := ForEach(n, func(i int) error {
+		out[i] = i * i
+		return nil
+	}, Workers(8)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	if err := ForEach(0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+	if err := ForEach(-3, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for n<0")
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	// Several indices fail; every worker count must report the lowest one.
+	failing := map[int]bool{3: true, 17: true, 40: true}
+	for _, workers := range []int{1, 2, 4, 16} {
+		for trial := 0; trial < 20; trial++ {
+			err := ForEach(50, func(i int) error {
+				if failing[i] {
+					return fmt.Errorf("task %d failed", i)
+				}
+				return nil
+			}, Workers(workers))
+			if err == nil || err.Error() != "task 3 failed" {
+				t.Fatalf("workers=%d trial=%d: err = %v, want task 3", workers, trial, err)
+			}
+		}
+	}
+}
+
+func TestForEachSerialStopsAtFirstError(t *testing.T) {
+	var ran int32
+	sentinel := errors.New("boom")
+	err := ForEach(100, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 5 {
+			return sentinel
+		}
+		return nil
+	}, Workers(1))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 6 {
+		t.Fatalf("serial run executed %d tasks after failure at index 5", ran)
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int32
+	err := ForEach(64, func(int) error {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			old := atomic.LoadInt32(&peak)
+			if cur <= old || atomic.CompareAndSwapInt32(&peak, old, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&inFlight, -1)
+		return nil
+	}, Workers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", peak, workers)
+	}
+}
+
+func TestForEachSkipsAfterFailure(t *testing.T) {
+	// When every index fails, the first completed failure raises the stop
+	// flag and unclaimed indices are skipped — but the reported error is
+	// still index 0's, the lowest claimed failure.
+	var ran int32
+	err := ForEach(1000, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return fmt.Errorf("task %d failed", i)
+	}, Workers(2))
+	if err == nil || err.Error() != "task 0 failed" {
+		t.Fatalf("err = %v", err)
+	}
+	if ran == 1000 {
+		t.Fatal("no index was skipped after the failure")
+	}
+}

@@ -52,22 +52,43 @@ func CompareOrders(a, b *Result, topNs ...int) RankComparison {
 	}
 	nf := float64(n)
 	cmp.Spearman = 1 - 6*d2/(nf*(nf*nf-1))
-	// Kendall tau (O(n²); endpoint counts are small).
-	concordant, discordant := 0, 0
+	// Kendall tau-b over slack values (O(n²); endpoint counts are small).
+	// Pairs tied in either analysis leave the numerator and discount the
+	// denominator — plain tau-a kept all n(n−1)/2 pairs in the denominator
+	// while skipping ties in the numerator, understating |τ| whenever
+	// endpoint slacks tie (common on a slack wall).
+	slackA := slacks(a)
+	slackB := slacks(b)
+	concordant, discordant, tiesA, tiesB := 0, 0, 0, 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			da := rankA[names[i]] - rankA[names[j]]
-			db := rankB[names[i]] - rankB[names[j]]
-			s := da * db
-			if s > 0 {
+			da := slackA[names[i]] - slackA[names[j]]
+			db := slackB[names[i]] - slackB[names[j]]
+			switch {
+			case da == 0 && db == 0:
+				tiesA++
+				tiesB++
+			case da == 0:
+				tiesA++
+			case db == 0:
+				tiesB++
+			case da*db > 0:
 				concordant++
-			} else if s < 0 {
+			default:
 				discordant++
 			}
 		}
 	}
 	pairs := n * (n - 1) / 2
-	cmp.KendallTau = float64(concordant-discordant) / float64(pairs)
+	denom := math.Sqrt(float64(pairs-tiesA) * float64(pairs-tiesB))
+	switch {
+	case denom > 0:
+		cmp.KendallTau = float64(concordant-discordant) / denom
+	case tiesA == pairs && tiesB == pairs:
+		cmp.KendallTau = 1 // both analyses fully tied: identical (non-)order
+	default:
+		cmp.KendallTau = 0 // one side fully tied: no order to correlate
+	}
 	// Top-N overlaps.
 	for _, k := range topNs {
 		if k <= 0 {
@@ -96,6 +117,15 @@ func ranks(r *Result) map[string]int {
 	out := make(map[string]int, len(r.Endpoints))
 	for i, ep := range r.Endpoints {
 		out[ep.Name] = i
+	}
+	return out
+}
+
+// slacks maps endpoint name -> slack (ps).
+func slacks(r *Result) map[string]float64 {
+	out := make(map[string]float64, len(r.Endpoints))
+	for _, ep := range r.Endpoints {
+		out[ep.Name] = ep.SlackPS
 	}
 	return out
 }

@@ -72,6 +72,52 @@ func TestCompareOrdersPartialShuffle(t *testing.T) {
 	}
 }
 
+func TestCompareOrdersKendallTauB(t *testing.T) {
+	// Table-driven tau-b checks against hand-computed values, including
+	// tied slacks (the E5/E6 slack-wall regime the tau-a denominator
+	// mishandled).
+	names4 := []string{"a", "b", "c", "d"}
+	cases := []struct {
+		name  string
+		a, b  []float64
+		names []string
+		want  float64
+	}{
+		// No ties: tau-b equals plain tau.
+		{"concordant", []float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}, names4, 1},
+		{"one swap", []float64{1, 2, 3, 4}, []float64{2, 1, 3, 4}, names4, 1 - 2.0/6.0},
+		// One tied pair in b: nc=5, nd=0, n0=6, n1=0, n2=1:
+		// τb = 5/√(6·5) = 0.91287…
+		{"tie in b", []float64{1, 2, 3, 4}, []float64{1, 2, 2, 4}, names4, 5 / math.Sqrt(30)},
+		// The same pair tied in both analyses drops out of both sides:
+		// remaining 5 pairs all concordant → τb = 1.
+		{"tie in both", []float64{1, 2, 2, 4}, []float64{5, 6, 6, 9}, names4, 1},
+		// Everything tied on both sides: identical (non-)order.
+		{"all tied both", []float64{7, 7, 7}, []float64{3, 3, 3}, []string{"a", "b", "c"}, 1},
+		// One side fully tied, the other ordered: nothing to correlate.
+		{"one side flat", []float64{7, 7, 7}, []float64{1, 2, 3}, []string{"a", "b", "c"}, 0},
+	}
+	for _, c := range cases {
+		cmp := CompareOrders(mkResult(c.names, c.a), mkResult(c.names, c.b))
+		if math.Abs(cmp.KendallTau-c.want) > 1e-12 {
+			t.Errorf("%s: tau-b = %.6f, want %.6f", c.name, cmp.KendallTau, c.want)
+		}
+	}
+}
+
+func TestCompareOrdersTauNotUnderstatedByTies(t *testing.T) {
+	// Two perfectly agreeing analyses that share a tie must report τ=1;
+	// the old tau-a kept the tied pair in the denominator and reported
+	// 5/6 instead.
+	names := []string{"a", "b", "c", "d"}
+	a := mkResult(names, []float64{1, 2, 2, 4})
+	b := mkResult(names, []float64{1, 2, 2, 4})
+	cmp := CompareOrders(a, b)
+	if cmp.KendallTau != 1 {
+		t.Fatalf("agreeing analyses with a tie: tau = %g, want 1", cmp.KendallTau)
+	}
+}
+
 func TestCompareOrdersDegenerate(t *testing.T) {
 	a := mkResult([]string{"x"}, []float64{1})
 	b := mkResult([]string{"x"}, []float64{2})
