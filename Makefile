@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet lint race bench check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Run the repository's own static-analysis suite (cmd/postopc-lint):
+# determinism (detrand, maporder), unit safety (unitsafe), worker-pool
+# correctness (parcapture) and dead-assignment hygiene (deadassign).
+lint:
+	$(GO) build -o bin/postopc-lint ./cmd/postopc-lint
+	./bin/postopc-lint ./...
 
 test:
 	$(GO) test ./...
@@ -17,7 +24,8 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
 
-# The full pre-merge gate: compile everything, vet, run the suite, then
-# run it again under the race detector (the parallel extraction / ORC /
-# Monte Carlo paths are exercised concurrently by the flow tests).
-check: build vet test race
+# The full pre-merge gate: compile everything, vet, run the domain lint
+# suite, run the tests, then run them again under the race detector (the
+# parallel extraction / ORC / Monte Carlo paths are exercised concurrently
+# by the flow tests).
+check: build vet lint test race

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"postopc/internal/drc"
 	"postopc/internal/geom"
@@ -44,8 +45,14 @@ func main() {
 		for name, info := range lib.Cells {
 			cells[name] = info.Layout
 		}
-		for _, vs := range drc.CheckLibrary(p, cells) {
-			violations = append(violations, vs...)
+		byCell := drc.CheckLibrary(p, cells)
+		names := make([]string, 0, len(byCell))
+		for name := range byCell {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			violations = append(violations, byCell[name]...)
 		}
 		fmt.Printf("checked %d cells\n", len(cells))
 	case *plf != "":

@@ -1,3 +1,8 @@
 module postopc
 
 go 1.22
+
+// The tree builds fully offline and is deliberately dependency-free: the
+// static-analysis suite (internal/analysis) mirrors the
+// golang.org/x/tools/go/analysis API on the standard library instead of
+// requiring it, so there is no x/tools version to require/pin here.

@@ -1,0 +1,188 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer is a named check
+// over one type-checked package, a Pass is the per-package invocation
+// context, and Diagnostics are position-anchored findings.
+//
+// The repository cannot vendor x/tools (the build environment is fully
+// offline and the module tree is deliberately dependency-free), so this
+// package mirrors the upstream API shape closely enough that the domain
+// analyzers under internal/analysis/... could be ported to the real
+// framework by changing only import paths. The driver lives in
+// cmd/postopc-lint; the test harness in internal/analysis/analysistest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and nolint directives.
+	// It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph help text; the first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass is the context handed to Analyzer.Run for one package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed sources of the package, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's maps for Files.
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	// Pos is the anchor position.
+	Pos token.Pos
+	// Message states the finding. By convention it is lower-case and does
+	// not end in punctuation.
+	Message string
+}
+
+// Finding is a Diagnostic attributed to the analyzer that produced it,
+// ready for rendering.
+type Finding struct {
+	// Analyzer names the producing check.
+	Analyzer string
+	// Pos is the resolved source position.
+	Pos token.Position
+	// Message states the finding.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies one analyzer to a type-checked package and returns its
+// findings with nolint suppressions already dropped, sorted by position.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sup := suppressions(fset, files)
+	var out []Finding
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if sup.matches(pos.Filename, pos.Line, a.Name) {
+			continue
+		}
+		out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// nolintKey identifies one suppressed (file, line).
+type nolintKey struct {
+	file string
+	line int
+}
+
+// nolintSet maps suppressed lines to the analyzer names they silence
+// (nil means all analyzers).
+type nolintSet map[nolintKey][]string
+
+// suppressions collects //postopc:nolint directives. A directive
+// suppresses findings on its own line and on the line below (so it works
+// both trailing the offending statement and standing on its own above it).
+// An optional comma-separated list restricts it to named analyzers:
+// //postopc:nolint detrand,maporder.
+func suppressions(fset *token.FileSet, files []*ast.File) nolintSet {
+	set := nolintSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//postopc:nolint")
+				if !ok {
+					continue
+				}
+				var names []string
+				if text = strings.TrimSpace(text); text != "" {
+					for _, n := range strings.Split(text, ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							names = append(names, n)
+						}
+					}
+				}
+				pos := fset.Position(c.Pos())
+				set[nolintKey{pos.Filename, pos.Line}] = names
+				set[nolintKey{pos.Filename, pos.Line + 1}] = names
+			}
+		}
+	}
+	return set
+}
+
+// matches reports whether a finding by analyzer at (file, line) is
+// suppressed.
+func (s nolintSet) matches(file string, line int, analyzer string) bool {
+	names, ok := s[nolintKey{file, line}]
+	if !ok {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// NewInfo allocates a types.Info with every map analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

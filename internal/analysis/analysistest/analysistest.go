@@ -1,0 +1,213 @@
+// Package analysistest runs analyzers over small testdata packages and
+// checks their diagnostics against `// want` comment expectations — the
+// same convention as golang.org/x/tools/go/analysis/analysistest, on which
+// this offline re-implementation is modelled.
+//
+// A test package lives under testdata/src/<name>/ next to the analyzer's
+// test file. Each line that should be flagged carries a comment of the
+// form
+//
+//	x = append(x, k) // want `map-range loop`
+//
+// where the back-quoted (or double-quoted) string is a regular expression
+// matched against the diagnostic message. Several expectations may follow
+// one `want`. Lines without a matching diagnostic, and diagnostics without
+// a matching expectation, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"postopc/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each testdata package, applies the analyzer, and compares the
+// findings against the `// want` expectations in the sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, testdata, a, pkg)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{fset: fset, root: filepath.Join(testdata, "src"), cache: map[string]*types.Package{}}
+	files, tpkg, info, err := ld.check(pkgpath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgpath, err)
+	}
+	findings, err := analysis.Run(a, fset, files, tpkg, info)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, fset, files)
+	for _, f := range findings {
+		key := wantKey{f.Pos.Filename, f.Pos.Line}
+		if i := matchWant(wants[key], f.Message); i >= 0 {
+			wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, e.String())
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants parses the `// want` expectations of all files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, pat := range splitPatterns(rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns extracts the quoted or back-quoted expectation strings.
+func splitPatterns(s string) []string {
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		quote := s[0]
+		if quote != '`' && quote != '"' {
+			return pats
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return pats
+		}
+		pats = append(pats, s[1:1+end])
+		s = s[end+2:]
+	}
+}
+
+// matchWant returns the index of the first expectation matching msg.
+func matchWant(exps []*regexp.Regexp, msg string) int {
+	for i, re := range exps {
+		if re.MatchString(msg) {
+			return i
+		}
+	}
+	return -1
+}
+
+// loader type-checks testdata packages. Imports are resolved first against
+// the testdata/src tree (so fixtures can model dependencies like the par
+// package without touching the real module), then through the standard
+// library's source importer.
+type loader struct {
+	fset  *token.FileSet
+	root  string
+	std   types.Importer
+	cache map[string]*types.Package
+}
+
+func (l *loader) check(pkgpath string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(l.root, pkgpath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(pkgpath, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, tpkg, info, nil
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if _, err := os.Stat(filepath.Join(l.root, path)); err == nil {
+		_, tpkg, _, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = tpkg
+		return tpkg, nil
+	}
+	if l.std == nil {
+		l.std = importer.ForCompiler(l.fset, "source", nil)
+	}
+	p, err := l.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = p
+	return p, nil
+}

@@ -1,0 +1,51 @@
+// Package deadassign defines an analyzer that flags `_ = x` statements
+// where x is a plain local or package variable.
+//
+// A blank assignment of a bare identifier exists only to silence the
+// compiler's unused-variable error: the value was computed, then thrown
+// away. Either the computation matters (use the value) or it does not
+// (delete it). Discarding call results (`_ = w.Close()`) or using the
+// blank in a tuple (`_, err := f()`) is legitimate and not flagged.
+package deadassign
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"postopc/internal/analysis"
+)
+
+// Analyzer is the deadassign check.
+var Analyzer = &analysis.Analyzer{
+	Name: "deadassign",
+	Doc: "flag `_ = x` suppressions of unused values\n\n" +
+		"The pattern hides a value that was computed and never used; use the\n" +
+		"value or delete the computation feeding it.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			blank, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || blank.Name != "_" {
+				return true
+			}
+			rhs, ok := ast.Unparen(as.Rhs[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isVar := pass.TypesInfo.Uses[rhs].(*types.Var); !isVar {
+				return true
+			}
+			pass.Reportf(as.Pos(), "dead assignment `_ = %s` suppresses an unused value; use %s or delete the computation feeding it", rhs.Name, rhs.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package deadassign_test
+
+import (
+	"testing"
+
+	"postopc/internal/analysis/analysistest"
+	"postopc/internal/analysis/deadassign"
+)
+
+func TestDeadassign(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), deadassign.Analyzer, "deadassign")
+}

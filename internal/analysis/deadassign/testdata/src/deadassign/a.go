@@ -1,0 +1,25 @@
+package deadassign
+
+func compute() int { return 1 }
+
+func pair() (int, error) { return 1, nil }
+
+func bad() int {
+	x := compute()
+	_ = x // want "dead assignment `_ = x` suppresses an unused value"
+	return compute()
+}
+
+func goodTuple() int {
+	v, _ := pair() // blank in a tuple is a legitimate partial discard
+	return v
+}
+
+func goodCallDiscard(f func() error) {
+	_ = f() // discarding a call result is an explicit decision, not a suppression
+}
+
+func suppressed() {
+	z := compute()
+	_ = z //postopc:nolint deadassign
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"postopc/internal/analysis/analysistest"
+	"postopc/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrand.Analyzer, "detrand", "detrandmain")
+}

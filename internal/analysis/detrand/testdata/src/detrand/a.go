@@ -1,0 +1,22 @@
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad(seed int64) {
+	rand.Seed(seed)   // want `rand\.Seed reseeds the shared global source`
+	_ = rand.Intn(10) // want `global rand\.Intn draws from the shared source`
+	_ = rand.Float64() // want `global rand\.Float64 draws from the shared source`
+	_ = time.Now() // want `time\.Now in library code`
+}
+
+func good(seed int64) int {
+	rnd := rand.New(rand.NewSource(seed))
+	return rnd.Intn(10) // methods on a local generator are the sanctioned pattern
+}
+
+func suppressed() {
+	_ = rand.Int63() //postopc:nolint detrand
+}

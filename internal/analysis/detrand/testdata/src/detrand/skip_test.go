@@ -1,0 +1,9 @@
+package detrand
+
+import "math/rand"
+
+// Test files may use the global source freely; the analyzer only guards
+// library code.
+func shuffleForTest(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,12 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	start := time.Now() // the CLI boundary may read the wall clock
+	fmt.Println(rand.Intn(10), time.Since(start)) // want `global rand\.Intn draws from the shared source`
+}

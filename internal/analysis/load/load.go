@@ -1,0 +1,145 @@
+// Package load locates, parses and type-checks the packages named by `go
+// list`-style patterns so analyzers can run over them. It is the offline
+// stand-in for golang.org/x/tools/go/packages: package enumeration is
+// delegated to the go command, imports are resolved by the standard
+// library's source importer (which type-checks dependencies from source —
+// no compiled export data or network access required).
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+
+	"postopc/internal/analysis"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	// ImportPath is the canonical import path.
+	ImportPath string
+	// Dir is the package source directory.
+	Dir string
+	// Fset maps positions for Syntax.
+	Fset *token.FileSet
+	// Syntax holds the parsed files (comments included), one per GoFile.
+	Syntax []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker's maps.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Packages runs `go list` in dir on the given patterns and returns every
+// matched package parsed and type-checked. Test files are not loaded —
+// the analyzers enforce invariants on library code, and testdata trees are
+// never matched by the go command.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := analysis.NewInfo()
+		conf := types.Config{Importer: imp.forDir(lp.Dir)}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Syntax:     files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+// goList enumerates packages matching the patterns.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []*listedPackage
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json: %w", err)
+		}
+		listed = append(listed, &lp)
+	}
+	return listed, nil
+}
+
+// sharedImporter wraps the standard library's source importer, which
+// resolves both standard-library and in-module imports from source. One
+// instance is shared across all loaded packages so each dependency is
+// type-checked at most once per run.
+type sharedImporter struct {
+	from types.ImporterFrom
+}
+
+func newImporter(fset *token.FileSet) *sharedImporter {
+	return &sharedImporter{from: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)}
+}
+
+// forDir returns a types.Importer that resolves imports relative to the
+// importing package's directory (required for correct module resolution).
+func (s *sharedImporter) forDir(dir string) types.Importer {
+	return dirImporter{s.from, dir}
+}
+
+type dirImporter struct {
+	from types.ImporterFrom
+	dir  string
+}
+
+func (d dirImporter) Import(path string) (*types.Package, error) {
+	return d.from.ImportFrom(path, d.dir, 0)
+}

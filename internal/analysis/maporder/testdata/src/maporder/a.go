@@ -1,0 +1,73 @@
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside a map-range loop`
+	}
+	return keys
+}
+
+func goodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func badPrint(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside a map-range loop`
+	}
+}
+
+func goodSliceRange(keys []string, w io.Writer) {
+	for _, k := range keys {
+		fmt.Fprintln(w, k) // slice order is deterministic
+	}
+}
+
+// Table mimics report.Table for the row-building rule.
+type Table struct{ Rows [][]string }
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+func badRows(t *Table, m map[string]int) {
+	for k := range m {
+		t.Add(k) // want `report row Add inside a map-range loop`
+	}
+}
+
+func goodAggregate(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v // order-independent aggregation is fine
+	}
+	return sum
+}
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //postopc:nolint maporder
+	}
+	return keys
+}

@@ -1,0 +1,199 @@
+// Package parcapture defines an analyzer for closures handed to
+// par.ForEach, the bounded worker pool every hot loop runs on.
+//
+// The pool's determinism contract is that workers communicate only through
+// index-disjoint slots: fn(i) may write exts[i] but nothing shared. Two
+// regressions break it silently — writing a captured variable (a data race
+// that the race detector only catches when the schedule cooperates), and
+// indexing shared state by something other than the closure's own index
+// parameter (workers overwrite each other's slots). Both are purely
+// syntactic properties of the closure, so they are enforced here instead
+// of in the occasional -race run.
+package parcapture
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"postopc/internal/analysis"
+)
+
+// Analyzer is the parcapture check.
+var Analyzer = &analysis.Analyzer{
+	Name: "parcapture",
+	Doc: "flag par.ForEach closures that write shared state non-index-disjointly\n\n" +
+		"A closure passed to par.ForEach runs concurrently: assignments to\n" +
+		"captured variables race, and writes to shared slices or maps must be\n" +
+		"indexed by the closure's own index parameter. Referencing an enclosing\n" +
+		"loop's iteration variable inside the closure is flagged because it is\n" +
+		"almost always a stale copy of what should be the index parameter.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var loops []ast.Stmt // enclosing for/range statements, innermost last
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					loops = append(loops, n.(ast.Stmt))
+					if f, ok := n.(*ast.ForStmt); ok {
+						walk(f.Body)
+					} else {
+						walk(n.(*ast.RangeStmt).Body)
+					}
+					loops = loops[:len(loops)-1]
+					return false
+				case *ast.CallExpr:
+					if fl := forEachClosure(pass, n); fl != nil {
+						checkClosure(pass, fl, loops)
+					}
+				}
+				return true
+			})
+		}
+		walk(file)
+	}
+	return nil
+}
+
+// forEachClosure returns the function-literal work argument of a
+// par.ForEach call, or nil.
+func forEachClosure(pass *analysis.Pass, call *ast.CallExpr) *ast.FuncLit {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "par" || fn.Name() != "ForEach" {
+		return nil
+	}
+	if len(call.Args) < 2 {
+		return nil
+	}
+	fl, _ := call.Args[1].(*ast.FuncLit)
+	return fl
+}
+
+// checkClosure enforces the index-disjointness contract on one work
+// closure. loops are the for/range statements lexically enclosing the
+// par.ForEach call.
+func checkClosure(pass *analysis.Pass, fl *ast.FuncLit, loops []ast.Stmt) {
+	idx := indexParam(pass, fl)
+	loopVars := loopVariables(pass, loops)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, fl, idx, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, fl, idx, n.X)
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil && loopVars[obj] {
+				pass.Reportf(n.Pos(), "par.ForEach closure references enclosing loop variable %s; derive work from the closure's index parameter instead", n.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite validates one assignment target inside the closure.
+func checkWrite(pass *analysis.Pass, fl *ast.FuncLit, idx types.Object, lhs ast.Expr) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		if obj := pass.TypesInfo.ObjectOf(lhs); obj != nil && capturedBy(fl, obj) {
+			pass.Reportf(lhs.Pos(), "par.ForEach closure writes captured variable %s — a data race; write into an index-disjoint slot instead", lhs.Name)
+		}
+	case *ast.IndexExpr:
+		base, ok := ast.Unparen(lhs.X).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(base)
+		if obj == nil || !capturedBy(fl, obj) {
+			return
+		}
+		if idx == nil || !mentionsObj(pass, lhs.Index, idx) {
+			pass.Reportf(lhs.Pos(), "par.ForEach closure writes shared %s at an index not derived from the closure's index parameter; concurrent workers may collide", base.Name)
+		}
+	case *ast.SelectorExpr:
+		if base, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(base); obj != nil && capturedBy(fl, obj) {
+				pass.Reportf(lhs.Pos(), "par.ForEach closure writes field of captured %s — a data race; write into an index-disjoint slot instead", base.Name)
+			}
+		}
+	case *ast.StarExpr:
+		if base, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(base); obj != nil && capturedBy(fl, obj) {
+				pass.Reportf(lhs.Pos(), "par.ForEach closure writes through captured pointer %s — a data race; write into an index-disjoint slot instead", base.Name)
+			}
+		}
+	}
+}
+
+// indexParam returns the object of the closure's index parameter.
+func indexParam(pass *analysis.Pass, fl *ast.FuncLit) types.Object {
+	params := fl.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(params.List[0].Names[0])
+}
+
+// loopVariables collects the iteration-variable objects of the enclosing
+// loops.
+func loopVariables(pass *analysis.Pass, loops []ast.Stmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	for _, l := range loops {
+		switch l := l.(type) {
+		case *ast.RangeStmt:
+			add(l.Key)
+			add(l.Value)
+		case *ast.ForStmt:
+			if init, ok := l.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					add(lhs)
+				}
+			}
+		}
+	}
+	return vars
+}
+
+// capturedBy reports whether obj is declared outside the closure (and is a
+// variable — captured constants and functions are harmless).
+func capturedBy(fl *ast.FuncLit, obj types.Object) bool {
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	return obj.Pos() < fl.Pos() || obj.Pos() >= fl.End()
+}
+
+// mentionsObj reports whether expr references obj.
+func mentionsObj(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package parcapture_test
+
+import (
+	"testing"
+
+	"postopc/internal/analysis/analysistest"
+	"postopc/internal/analysis/parcapture"
+)
+
+func TestParcapture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), parcapture.Analyzer, "parcapture")
+}

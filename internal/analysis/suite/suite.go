@@ -1,0 +1,23 @@
+// Package suite enumerates the repository's analyzers in the order the
+// multichecker runs them. cmd/postopc-lint and the CI gate consume this
+// list; adding an analyzer here is all that is needed to enforce it
+// everywhere.
+package suite
+
+import (
+	"postopc/internal/analysis"
+	"postopc/internal/analysis/deadassign"
+	"postopc/internal/analysis/detrand"
+	"postopc/internal/analysis/maporder"
+	"postopc/internal/analysis/parcapture"
+	"postopc/internal/analysis/unitsafe"
+)
+
+// Analyzers is the full suite, in run order.
+var Analyzers = []*analysis.Analyzer{
+	deadassign.Analyzer,
+	detrand.Analyzer,
+	maporder.Analyzer,
+	parcapture.Analyzer,
+	unitsafe.Analyzer,
+}

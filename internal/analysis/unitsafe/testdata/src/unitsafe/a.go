@@ -1,0 +1,38 @@
+package unitsafe
+
+// Coord mirrors geom.Coord: layout quantities are integer nanometres.
+type Coord = int64
+
+// Rules mirrors the NM-suffixed design-rule fields of pdk.Rules.
+type Rules struct {
+	GateLengthNM Coord
+	PolyPitchNM  Coord
+}
+
+func badField(r Rules) Coord {
+	return r.PolyPitchNM * 2.0 // want `PolyPitchNM is an integer-nanometre quantity mixed with float literal 2\.0`
+}
+
+func badLocal(widthNM Coord) bool {
+	return widthNM < 3.0 // want `widthNM is an integer-nanometre quantity mixed with float literal 3\.0`
+}
+
+func badReversed(r Rules) Coord {
+	return 10.0 + r.GateLengthNM // want `GateLengthNM is an integer-nanometre quantity mixed with float literal 10\.0`
+}
+
+func goodInteger(r Rules) Coord {
+	return r.GateLengthNM * 2 // same-unit arithmetic with an integer literal
+}
+
+func goodExplicit(r Rules) float64 {
+	return float64(r.PolyPitchNM) / 2.0 // explicit conversion leaves the integer domain
+}
+
+func goodNonNM(scale int64) int64 {
+	return scale * 2.0 // only NM-suffixed quantities carry unit meaning
+}
+
+func suppressed(r Rules) Coord {
+	return r.PolyPitchNM / 2.0 //postopc:nolint unitsafe
+}

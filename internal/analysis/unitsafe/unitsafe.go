@@ -1,0 +1,111 @@
+// Package unitsafe defines an analyzer that flags arithmetic mixing
+// NM-suffixed integer quantities with untyped float literals.
+//
+// Layout quantities in this repository are integer nanometres (geom.Coord
+// fields and variables carry an NM suffix: GateLengthNM, PolyPitchNM, ...).
+// An untyped float constant silently converts to the integer side when it
+// happens to be integral — `w.PolyPitchNM * 2.0` compiles — which is how
+// nm/µm scale factors (1000.0, 0.001 written as 1e-3·k, half-pitches) creep
+// in without an explicit unit decision. The analyzer requires the intent to
+// be spelled out: either an integer literal (same-unit arithmetic) or an
+// explicit float64(...) conversion (leaving the integer domain).
+package unitsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"postopc/internal/analysis"
+)
+
+// Analyzer is the unitsafe check.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafe",
+	Doc: "flag arithmetic mixing NM-suffixed integer quantities with float literals\n\n" +
+		"Nanometre quantities are integers; a float literal on the other side of\n" +
+		"an operator is either a unit conversion that should be explicit\n" +
+		"(float64(xNM) / 1000) or an integer in disguise (write 2, not 2.0).",
+	Run: run,
+}
+
+// arithOps are the operators checked; comparisons are included because
+// `xNM < 1.5` truncates the same way.
+var arithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.LSS: true, token.GTR: true, token.LEQ: true,
+	token.GEQ: true, token.EQL: true, token.NEQ: true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || !arithOps[bin.Op] {
+				return true
+			}
+			x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+			var nm *ast.Ident
+			var lit ast.Expr
+			switch {
+			case nmQuantity(pass, x) != nil && floatLit(y) != nil:
+				nm, lit = nmQuantity(pass, x), floatLit(y)
+			case nmQuantity(pass, y) != nil && floatLit(x) != nil:
+				nm, lit = nmQuantity(pass, y), floatLit(x)
+			default:
+				return true
+			}
+			pass.Reportf(bin.Pos(),
+				"%s is an integer-nanometre quantity mixed with float literal %s; use an integer literal for same-unit arithmetic or an explicit float64(%s) conversion",
+				nm.Name, litText(lit), nm.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// nmQuantity returns the identifier of an NM-suffixed integer-typed operand
+// (a bare identifier or the field of a selector), or nil.
+func nmQuantity(pass *analysis.Pass, e ast.Expr) *ast.Ident {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	if !strings.HasSuffix(id.Name, "NM") || len(id.Name) <= 2 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return id
+}
+
+// floatLit returns e if it is an untyped float literal, optionally signed.
+func floatLit(e ast.Expr) ast.Expr {
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = ast.Unparen(u.X)
+	}
+	if lit, ok := e.(*ast.BasicLit); ok && lit.Kind == token.FLOAT {
+		return lit
+	}
+	return nil
+}
+
+// litText renders the literal for the message.
+func litText(e ast.Expr) string {
+	if lit, ok := e.(*ast.BasicLit); ok {
+		return lit.Value
+	}
+	return "literal"
+}

@@ -1,0 +1,12 @@
+package unitsafe_test
+
+import (
+	"testing"
+
+	"postopc/internal/analysis/analysistest"
+	"postopc/internal/analysis/unitsafe"
+)
+
+func TestUnitsafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), unitsafe.Analyzer, "unitsafe")
+}

@@ -1,0 +1,45 @@
+package flow
+
+import (
+	"testing"
+
+	"postopc/internal/netlist"
+	"postopc/internal/report"
+	"postopc/internal/sta"
+)
+
+// TestRunRowOrderStable locks in the PR 1 map-iteration fix that the
+// maporder analyzer now guards statically: the Tagged gate list is
+// collected from the map-keyed extraction results, so without the
+// deterministic sort the report rows built from it would reshuffle
+// between runs. Ten runs must render byte-identical tables.
+func TestRunRowOrderStable(t *testing.T) {
+	f := fastFlow(t)
+	n := netlist.InverterChain(4)
+	opt := RunOptions{
+		STA:  sta.DefaultConfig(1500),
+		Mode: OPCRule,
+	}
+	render := func(res *RunResult) string {
+		tb := report.NewTable("tagged gates", "gate", "sites")
+		for _, name := range res.Tagged {
+			tb.AddF(0, name, len(res.Extractions[name].Sites))
+		}
+		return tb.String()
+	}
+	var first string
+	for run := 0; run < 10; run++ {
+		res, err := f.Run(n, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := render(res)
+		if run == 0 {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatalf("run %d: report rows reordered:\nfirst:\n%s\nnow:\n%s", run, first, got)
+		}
+	}
+}

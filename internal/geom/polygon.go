@@ -220,11 +220,10 @@ func dedupVertices(pg Polygon) Polygon {
 		return nil
 	}
 	var out Polygon
-	for i, p := range pg {
+	for _, p := range pg {
 		if len(out) > 0 && out[len(out)-1] == p {
 			continue
 		}
-		_ = i
 		out = append(out, p)
 	}
 	if len(out) > 1 && out[0] == out[len(out)-1] {

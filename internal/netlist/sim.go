@@ -18,58 +18,64 @@ func Simulate(n *Netlist, lib *stdcell.Library, inputs map[string]bool) (map[str
 		return nil, err
 	}
 	values := map[string]bool{}
+	// Event-driven topological evaluation over the connectivity graph:
+	// each gate waits on a count of unknown inputs; setting a net's value
+	// decrements the count of every gate the net sinks into, and a gate
+	// whose count hits zero is evaluated. Each gate and each net is
+	// processed exactly once.
+	unknown := make([]int, len(n.Gates))
+	infos := make([]*stdcell.Info, len(n.Gates))
+	evaluated := 0
+	var ready []int
+	for gi, g := range n.Gates {
+		info, err := lib.Get(g.Cell)
+		if err != nil {
+			return nil, err
+		}
+		if info.Kind == stdcell.Seq {
+			return nil, fmt.Errorf("netlist: Simulate is combinational; gate %s is sequential", g.Name)
+		}
+		infos[gi] = info
+		if unknown[gi] = len(info.Inputs); unknown[gi] == 0 {
+			ready = append(ready, gi)
+		}
+	}
+	set := func(net string, v bool) {
+		values[net] = v
+		for _, sink := range conns[net].Sinks {
+			if sink.Gate < 0 {
+				continue // primary output
+			}
+			if unknown[sink.Gate]--; unknown[sink.Gate] == 0 {
+				ready = append(ready, sink.Gate)
+			}
+		}
+	}
 	for _, in := range n.Inputs {
 		v, ok := inputs[in]
 		if !ok {
 			return nil, fmt.Errorf("netlist: input %s not driven", in)
 		}
-		values[in] = v
+		set(in, v)
 	}
-	// Iterate to a fixed point in topological fashion: evaluate any gate
-	// whose inputs are all known. The netlists are DAGs, so this
-	// terminates in at most depth passes.
-	remaining := make([]int, 0, len(n.Gates))
-	for gi := range n.Gates {
-		remaining = append(remaining, gi)
+	for len(ready) > 0 {
+		gi := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		g := n.Gates[gi]
+		info := infos[gi]
+		in := map[string]bool{}
+		for _, pin := range info.Inputs {
+			in[pin] = values[g.Conn[pin]]
+		}
+		out, err := evalCell(info.Name, in)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: gate %s: %w", g.Name, err)
+		}
+		evaluated++
+		set(g.Conn[info.Output], out)
 	}
-	_ = conns
-	for len(remaining) > 0 {
-		progressed := false
-		next := remaining[:0]
-		for _, gi := range remaining {
-			g := n.Gates[gi]
-			info, err := lib.Get(g.Cell)
-			if err != nil {
-				return nil, err
-			}
-			if info.Kind == stdcell.Seq {
-				return nil, fmt.Errorf("netlist: Simulate is combinational; gate %s is sequential", g.Name)
-			}
-			ready := true
-			in := map[string]bool{}
-			for _, pin := range info.Inputs {
-				v, ok := values[g.Conn[pin]]
-				if !ok {
-					ready = false
-					break
-				}
-				in[pin] = v
-			}
-			if !ready {
-				next = append(next, gi)
-				continue
-			}
-			out, err := evalCell(info.Name, in)
-			if err != nil {
-				return nil, fmt.Errorf("netlist: gate %s: %w", g.Name, err)
-			}
-			values[g.Conn[info.Output]] = out
-			progressed = true
-		}
-		if !progressed {
-			return nil, fmt.Errorf("netlist: %d gates never became ready (loop or undriven input)", len(next))
-		}
-		remaining = next
+	if evaluated < len(n.Gates) {
+		return nil, fmt.Errorf("netlist: %d gates never became ready (loop or undriven input)", len(n.Gates)-evaluated)
 	}
 	return values, nil
 }

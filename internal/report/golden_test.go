@@ -1,0 +1,120 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestTableGolden pins the exact rendered bytes of Table.Fprint across the
+// column-width edge cases: no rows, a single row, multibyte (non-ASCII)
+// cell contents, and ragged rows with missing or extra cells.
+func TestTableGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Table
+	}{
+		{"empty", func() *Table {
+			// Headers only: the separator still renders, sized to the headers.
+			return NewTable("empty table", "gate", "slack_ps")
+		}},
+		{"untitled_empty", func() *Table {
+			return NewTable("", "k")
+		}},
+		{"single_row", func() *Table {
+			tb := NewTable("one row", "name", "value")
+			tb.Add("alpha", "42")
+			return tb
+		}},
+		{"multibyte", func() *Table {
+			// Rune width != byte width: µ is 2 bytes, λ is 2 bytes, the CJK
+			// cell is 3 bytes per rune. Columns must still align.
+			tb := NewTable("units", "quantity", "unité")
+			tb.Add("pitch", "0.28µm")
+			tb.Add("λ/NA", "193nm")
+			tb.Add("幅", "90nm")
+			return tb
+		}},
+		{"ragged", func() *Table {
+			// Missing cells render empty; extra cells beyond the declared
+			// columns are kept in Rows but not rendered.
+			tb := NewTable("ragged", "a", "bb", "ccc")
+			tb.Add("1")
+			tb.Add("1", "2", "3", "dropped")
+			tb.Add("", "2")
+			return tb
+		}},
+		{"addf", func() *Table {
+			tb := NewTable("mixed", "gate", "cd_nm", "n")
+			tb.AddF(2, "g12", 87.6543, 3)
+			tb.AddF(2, "g7", -1.0, 11)
+			return tb
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.build().String()
+			path := filepath.Join("testdata", c.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/report -update` to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("rendering differs from %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestTableMultibyteAlignment asserts the alignment property directly so a
+// careless golden regeneration cannot hide a width regression: every
+// rendered row of a two-column table must place the second column at one
+// fixed rune offset.
+func TestTableMultibyteAlignment(t *testing.T) {
+	tb := NewTable("", "name", "v")
+	tb.Add("µµµ", "1")
+	tb.Add("abcd", "2")
+	out := tb.String()
+	var offsets []int
+	for _, line := range splitLines(out) {
+		if line == "" {
+			continue
+		}
+		runes := []rune(line)
+		last := -1
+		for i := len(runes) - 1; i >= 0; i-- {
+			if runes[i] != ' ' {
+				continue
+			}
+			last = i + 1
+			break
+		}
+		offsets = append(offsets, last)
+	}
+	for _, o := range offsets[1:] {
+		if o != offsets[0] {
+			t.Fatalf("second column drifts: offsets %v in\n%s", offsets, out)
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

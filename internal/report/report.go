@@ -8,6 +8,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a titled, column-aligned text table.
@@ -47,16 +48,18 @@ func (t *Table) AddF(prec int, values ...interface{}) {
 	t.Rows = append(t.Rows, row)
 }
 
-// Fprint writes the aligned table.
+// Fprint writes the aligned table. Cell widths are measured in runes so
+// multibyte contents (µm units, Greek letters in column names) stay
+// aligned.
 func (t *Table) Fprint(w io.Writer) {
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if w := utf8.RuneCountInString(c); i < len(widths) && w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
@@ -74,7 +77,9 @@ func (t *Table) Fprint(w io.Writer) {
 				b.WriteString("  ")
 			}
 			b.WriteString(c)
-			b.WriteString(strings.Repeat(" ", wd-len(c)))
+			if pad := wd - utf8.RuneCountInString(c); pad > 0 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
 		}
 		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
 	}
