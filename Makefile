@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench check
+.PHONY: build test vet lint race bench bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
+
+# One-iteration smoke of the cache ablation in -short mode: keeps the
+# stage/cache plumbing honest between perf PRs without the full bench cost
+# (the -short path runs a small repeated-context block only).
+bench-smoke:
+	$(GO) test -short -run=NONE -bench=Ablation_WindowCache -benchtime=1x .
 
 # The full pre-merge gate: compile everything, vet, run the domain lint
 # suite, run the tests, then run them again under the race detector (the

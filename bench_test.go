@@ -590,6 +590,91 @@ func BenchmarkAblation_FastModel(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_WindowCache measures the content-addressed pattern
+// cache on full-chip extraction + ORC: wall time with and without the
+// cache, the hit rate, and the resulting speedup.
+//
+// The repeated-context chips are DatapathRegular blocks (identical bit
+// slices) placed as a bit-slice strip — one cell per row, the classic
+// datapath layout style — so each pipeline stage's level-ordered run of
+// identical cells spans many rows and gate windows repeat both along and
+// across rows; the ORC tile is set to two row heights, the vertical period
+// of the alternating row flip. The shuffled eval datapath is the
+// adversarial contrast: almost no window recurs there, so the cache can
+// only break even and the bench reports its pure overhead. Cached and
+// uncached runs are byte-identical by construction; this bench quantifies
+// only the cost side. Under -short only a small repeated-context block
+// runs, sized for the CI smoke step.
+func BenchmarkAblation_WindowCache(b *testing.B) {
+	f := getFixtures(b)
+	// One NAND2_X2 (the widest slice cell) per placement row.
+	strip := place.Options{RowWidthNM: 2380}
+	stripTile := geom.Coord(2 * 2600)
+	type spec struct {
+		name   string
+		nl     *netlist.Netlist
+		place  place.Options
+		tileNM geom.Coord
+	}
+	var specs []spec
+	if testing.Short() {
+		specs = []spec{{"strip dp12x3", netlist.DatapathRegular(12, 3, 3), strip, stripTile}}
+	} else {
+		specs = []spec{
+			{"strip dp32x10", netlist.DatapathRegular(32, 10, 3), strip, stripTile},
+			{"shuffled " + f.nl.Name, f.nl, place.Options{}, 0},
+			{"strip dp48x12", netlist.DatapathRegular(48, 12, 5), strip, stripTile},
+		}
+	}
+	newFlow := func() *flow.Flow {
+		fl, err := flow.New(f.kit, flow.Config{Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fl
+	}
+	runChip := func(fl *flow.Flow, chip *layout.Chip, tileNM geom.Coord) time.Duration {
+		t0 := time.Now()
+		if _, err := fl.ExtractGates(chip, nil, flow.ExtractOptions{Mode: flow.OPCModel}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fl.VerifyChip(chip, flow.ORCOptions{Mode: flow.OPCModel, TileNM: tileNM}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	for i := 0; i < b.N; i++ {
+		tb := report.NewTable("ablation: pattern cache on full-chip extraction + ORC (fast model)",
+			"design", "gates", "uncached", "cached", "speedup", "lookups", "hit rate")
+		hitS := report.Series{Name: "cache_hit_rate"}
+		spdS := report.Series{Name: "cache_speedup"}
+		for _, sp := range specs {
+			plain := newFlow()
+			pl, err := plain.Place(sp.nl, sp.place)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tPlain := runChip(plain, pl.Chip, sp.tileNM)
+			cached := newFlow().EnableCache(0)
+			tCached := runChip(cached, pl.Chip, sp.tileNM)
+			st := cached.CacheStats()
+			speedup := float64(tPlain) / float64(tCached)
+			tb.AddF(2, sp.name, len(sp.nl.Gates),
+				tPlain.Round(time.Millisecond).String(), tCached.Round(time.Millisecond).String(),
+				speedup, st.Lookups(), st.HitRate())
+			gates := float64(len(sp.nl.Gates))
+			hitS.X = append(hitS.X, gates)
+			hitS.Y = append(hitS.Y, st.HitRate())
+			spdS.X = append(spdS.X, gates)
+			spdS.Y = append(spdS.Y, speedup)
+		}
+		printOnce(b, i, func() {
+			tb.Fprint(stdout)
+			report.WriteSeriesCSV(stdout, []report.Series{hitS, spdS})
+		})
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Extension benches: the companion paper's proposed future work.
 // ---------------------------------------------------------------------------

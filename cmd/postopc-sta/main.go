@@ -39,6 +39,8 @@ func main() {
 	wires := flag.Bool("wires", false, "use placement-derived (HPWL) wire loads instead of flat per-fanout caps")
 	libOut := flag.String("lib", "", "export a Liberty-flavored .lib of the drawn library to this file")
 	jobs := flag.Int("j", 0, "worker goroutines for extraction, ORC and Monte Carlo (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
+	useCache := flag.Bool("cache", false, "recall repeated layout contexts from the content-addressed pattern cache; results are byte-identical with and without it")
+	cacheSize := flag.Int("cache-size", 0, "pattern cache capacity in artifacts (0 = default); implies -cache")
 	flag.Parse()
 
 	n, err := loadNetlist(*file, *design, *size, *seed)
@@ -53,6 +55,9 @@ func main() {
 	opcMode, err := parseMode(*mode)
 	if err != nil {
 		fatal(err)
+	}
+	if *useCache || *cacheSize > 0 {
+		f.EnableCache(*cacheSize)
 	}
 
 	if *libOut != "" {
@@ -225,6 +230,10 @@ func main() {
 		t.AddF(1, "worst-case corner", slow.WNS)
 		t.Fprint(os.Stdout)
 		fmt.Printf("corner pessimism vs MC minimum: %.1fps\n", mcr.WNS[0]-slow.WNS)
+	}
+
+	if f.Cache != nil {
+		flow.CacheStatsTable(f.CacheStats()).Fprint(os.Stdout)
 	}
 }
 

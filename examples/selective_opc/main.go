@@ -3,7 +3,8 @@
 // model-based correction only where timing needs it, leaving the rest of
 // the chip uncorrected. The sweep shows how CD control on critical gates
 // and the worst-case slack converge to the full-OPC result while touching
-// only a handful of windows.
+// only a handful of windows — and, with the pattern cache enabled, how the
+// sweep's repeated and overlapping extractions collapse into cache hits.
 //
 //	go run ./examples/selective_opc
 package main
@@ -14,7 +15,6 @@ import (
 	"os"
 
 	"postopc/internal/flow"
-	"postopc/internal/litho"
 	"postopc/internal/netlist"
 	"postopc/internal/pdk"
 	"postopc/internal/place"
@@ -28,6 +28,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	f.EnableCache(0)
 	design := netlist.RippleCarryAdder(6)
 	pl, err := f.Place(design, place.Options{})
 	if err != nil {
@@ -49,75 +50,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	nominal := []litho.Corner{litho.Nominal}
-	// Baseline extraction: nothing corrected.
-	noOPC, err := f.ExtractGates(pl.Chip, nil, flow.ExtractOptions{Corners: nominal, Mode: flow.OPCNone})
+	sweep, err := f.SelectiveSweep(pl.Chip, g, drawn, cfg, flow.SelectiveOptions{
+		Ks: []int{0, 1, 2, 4, 8},
+	})
 	if err != nil {
 		log.Fatal(err)
-	}
-	// Reference: model OPC everywhere.
-	fullOPC, err := f.ExtractGates(pl.Chip, nil, flow.ExtractOptions{Corners: nominal, Mode: flow.OPCModel})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fullRes, err := g.Analyze(cfg, flow.Annotations(fullOPC, 0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	// CD-control metric is evaluated on the top-5-path critical gates.
-	critSet := map[string]bool{}
-	for _, n := range drawn.CriticalGates(5) {
-		critSet[n] = true
 	}
 
 	tb := report.NewTable("selective OPC on "+design.Name+
-		fmt.Sprintf(" (%d gates total)", len(design.Gates)),
+		fmt.Sprintf(" (%d gates total)", sweep.GatesTotal),
 		"paths tagged", "gates OPC'd", "mean |CD-90| on crit (nm)", "WNS(ps)", "ΔWNS vs full OPC (ps)")
-	for _, k := range []int{0, 1, 2, 4, 8} {
-		extrs := map[string]*flow.GateExtraction{}
-		for name, e := range noOPC {
-			extrs[name] = e
-		}
-		var tagged []string
-		if k > 0 {
-			tagged = drawn.CriticalGates(k)
-			sel, err := f.ExtractGates(pl.Chip, tagged, flow.ExtractOptions{Corners: nominal, Mode: flow.OPCModel})
-			if err != nil {
-				log.Fatal(err)
-			}
-			for name, e := range sel {
-				extrs[name] = e
-			}
-		}
-		res, err := g.Analyze(cfg, flow.Annotations(extrs, 0))
-		if err != nil {
-			log.Fatal(err)
-		}
-		tb.AddF(2, k, len(tagged), meanAbsErrOn(extrs, critSet), res.WNS, res.WNS-fullRes.WNS)
+	for _, st := range sweep.Steps {
+		tb.AddF(2, st.K, len(st.Tagged), st.MeanAbsCDErrNM, st.WNS, st.DeltaWNS)
 	}
-	tb.AddF(2, "all", len(fullOPC), meanAbsErrOn(fullOPC, critSet), fullRes.WNS, 0.0)
+	tb.AddF(2, "all", sweep.GatesTotal, sweep.FullMeanAbsCDErrNM, sweep.FullWNS, 0.0)
 	tb.Fprint(os.Stdout)
-}
 
-// meanAbsErrOn averages |meanCD − drawn| over the sites of the given gates.
-func meanAbsErrOn(extrs map[string]*flow.GateExtraction, gates map[string]bool) float64 {
-	var sum float64
-	n := 0
-	for name, e := range extrs {
-		if !gates[name] {
-			continue
-		}
-		for _, s := range e.Sites {
-			d := s.PerCorner[0].MeanCD - s.DrawnL
-			if d < 0 {
-				d = -d
-			}
-			sum += d
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
+	flow.CacheStatsTable(f.CacheStats()).Fprint(os.Stdout)
 }

@@ -1,0 +1,12 @@
+package cachekey_test
+
+import (
+	"testing"
+
+	"postopc/internal/analysis/analysistest"
+	"postopc/internal/analysis/cachekey"
+)
+
+func TestCachekey(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), cachekey.Analyzer, "cachekey")
+}

@@ -1,0 +1,71 @@
+package cachekey
+
+// The fixtures model the flow's staged pipeline: stageEnv is the keyed
+// environment, Flow the stateful orchestrator that must stay out of stage
+// signatures.
+
+type stageEnv struct {
+	Gain  float64
+	Limit int
+}
+
+type Flow struct {
+	Gain    float64
+	tuning  int
+	Verbose bool
+}
+
+var globalGain = 1.5
+
+var registry = map[string]int{}
+
+const nominalDose = 1.0 // constants are fine: they cannot drift per-process
+
+func stageScale(env *stageEnv, v float64) float64 {
+	return env.Gain * v * nominalDose
+}
+
+func stageLeakGlobal(env *stageEnv, v float64) float64 {
+	return v * globalGain // want `stage function stageLeakGlobal reads package variable globalGain`
+}
+
+func stageLeakMap(env *stageEnv, name string) int {
+	return registry[name] // want `stage function stageLeakMap reads package variable registry`
+}
+
+func (f *Flow) stageMethod(v float64) float64 { // want `stage function stageMethod is a method`
+	return f.Gain * v
+}
+
+func stageTakesFlow(f *Flow, v float64) float64 { // want `stage function stageTakesFlow takes \*Flow as a parameter`
+	return f.Gain * v
+}
+
+func stageTakesFlowValue(f Flow, v float64) float64 { // want `stage function stageTakesFlowValue takes Flow as a parameter`
+	return f.Gain * v
+}
+
+func StageExported(env *stageEnv, v float64) float64 {
+	return v * globalGain // want `stage function StageExported reads package variable globalGain`
+}
+
+// Non-stage helpers may read package state freely.
+func scaleHelper(v float64) float64 {
+	return v * globalGain
+}
+
+// A function merely named "stage" (no suffix) is not part of the
+// convention.
+func stage(v float64) float64 {
+	return v * globalGain
+}
+
+// Writes are reads too, for this purpose: mutating package state from a
+// stage breaks replay just as surely.
+func stageMutates(env *stageEnv) {
+	globalGain = env.Gain // want `stage function stageMutates reads package variable globalGain`
+}
+
+func stageSuppressed(env *stageEnv, v float64) float64 {
+	return v * globalGain //postopc:nolint cachekey
+}

@@ -6,6 +6,7 @@ package suite
 
 import (
 	"postopc/internal/analysis"
+	"postopc/internal/analysis/cachekey"
 	"postopc/internal/analysis/deadassign"
 	"postopc/internal/analysis/detrand"
 	"postopc/internal/analysis/maporder"
@@ -15,6 +16,7 @@ import (
 
 // Analyzers is the full suite, in run order.
 var Analyzers = []*analysis.Analyzer{
+	cachekey.Analyzer,
 	deadassign.Analyzer,
 	detrand.Analyzer,
 	maporder.Analyzer,

@@ -1,0 +1,176 @@
+// Package cache provides the bounded, sharded, in-memory content-addressed
+// store behind the flow's pattern cache: artifacts are keyed by a
+// collision-resistant signature of their full input (see flow's window
+// signatures), concurrent computations of the same key are deduplicated
+// single-flight, and hit/miss/wait/evict counters expose the cache's
+// behaviour to reports and CLIs.
+//
+// Determinism contract: the store memoizes pure functions only — a compute
+// callback must depend on nothing but the data folded into its key — so a
+// cached run is byte-identical to an uncached one at any worker count.
+// Eviction (bounded FIFO per shard) therefore only ever costs recomputation,
+// never correctness.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a content signature: a collision-resistant hash (SHA-256 sized) of
+// the canonical serialization of every input of the cached computation.
+type Key [32]byte
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	// Hits counts lookups satisfied by an already-completed entry.
+	Hits uint64
+	// Misses counts lookups that started a new computation.
+	Misses uint64
+	// Waits counts single-flight waits: lookups that found the key already
+	// being computed and blocked for its result instead of recomputing.
+	Waits uint64
+	// Evictions counts completed entries dropped to respect the bound.
+	Evictions uint64
+	// Entries is the number of live entries (completed and in-flight).
+	Entries int
+}
+
+// Lookups returns the total number of Do calls observed.
+func (s Stats) Lookups() uint64 { return s.Hits + s.Misses + s.Waits }
+
+// HitRate returns the fraction of lookups that avoided a computation
+// (hits plus single-flight waits), in [0, 1]; 0 when no lookups happened.
+func (s Stats) HitRate() float64 {
+	n := s.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Waits) / float64(n)
+}
+
+// entry is one keyed slot. done is closed when val/err are set; an entry
+// whose computation failed is removed from its shard so later callers retry
+// (errors are never cached).
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// shard is one lock domain of the store.
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	// fifo holds completed keys in insertion order — the eviction queue.
+	// In-flight entries are never evicted (a waiter holds a pointer to
+	// them), so fifo is appended to only once a computation completes.
+	fifo []Key
+}
+
+const numShards = 16
+
+// Store is the sharded single-flight content-addressed store.
+type Store struct {
+	shards   [numShards]shard
+	perShard int
+
+	hits, misses, waits, evictions atomic.Uint64
+}
+
+// DefaultEntries is the bound used when New is given a non-positive size.
+const DefaultEntries = 4096
+
+// New returns a store bounded to roughly maxEntries completed entries
+// (rounded up to the shard count; maxEntries <= 0 selects DefaultEntries).
+func New(maxEntries int) *Store {
+	if maxEntries <= 0 {
+		maxEntries = DefaultEntries
+	}
+	per := (maxEntries + numShards - 1) / numShards
+	s := &Store{perShard: per}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[Key]*entry)
+	}
+	return s
+}
+
+// Do returns the value cached under k, computing it with compute if absent.
+// Concurrent calls for the same key run compute exactly once — the others
+// block until it finishes and share its result (single-flight). A failed
+// compute is not cached: its error is delivered to the callers that waited
+// on it, and the next Do for the key computes afresh.
+//
+// compute must be a pure function of the data hashed into k; the returned
+// value is shared between callers and must be treated as immutable.
+func (s *Store) Do(k Key, compute func() (any, error)) (any, error) {
+	sh := &s.shards[int(k[0])%numShards]
+	sh.mu.Lock()
+	if e, ok := sh.entries[k]; ok {
+		select {
+		case <-e.done: // already complete: a plain hit
+			sh.mu.Unlock()
+			s.hits.Add(1)
+			return e.val, e.err
+		default: // in flight: wait for the leader
+			sh.mu.Unlock()
+			s.waits.Add(1)
+			<-e.done
+			return e.val, e.err
+		}
+	}
+	e := &entry{done: make(chan struct{})}
+	sh.entries[k] = e
+	sh.mu.Unlock()
+	s.misses.Add(1)
+
+	e.val, e.err = compute()
+	close(e.done)
+
+	sh.mu.Lock()
+	if e.err != nil {
+		// Errors are not cached; only remove our own entry (a concurrent
+		// retry may already have replaced it).
+		if sh.entries[k] == e {
+			delete(sh.entries, k)
+		}
+	} else {
+		sh.fifo = append(sh.fifo, k)
+		for len(sh.fifo) > s.perShard {
+			old := sh.fifo[0]
+			sh.fifo = sh.fifo[1:]
+			delete(sh.entries, old)
+			s.evictions.Add(1)
+		}
+	}
+	sh.mu.Unlock()
+	return e.val, e.err
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Waits:     s.waits.Load(),
+		Evictions: s.evictions.Load(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st.Entries += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Do is the typed wrapper over Store.Do: it preserves the compute
+// callback's result type across the cache.
+func Do[T any](s *Store, k Key, compute func() (T, error)) (T, error) {
+	v, err := s.Do(k, func() (any, error) { return compute() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}

@@ -1,0 +1,11 @@
+package cdx
+
+import "postopc/internal/geom"
+
+// AppendKey appends the CD-extraction settings for the flow's pattern
+// cache: slice count and scan geometry change the extracted profile, so
+// they are part of every window signature.
+func (o Options) AppendKey(dst []byte) []byte {
+	dst = geom.AppendKeyInt(dst, int64(o.Slices))
+	return geom.AppendKeyFloat(dst, o.ScanHalfNM, o.EdgeMarginNM)
+}

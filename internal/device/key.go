@@ -1,0 +1,16 @@
+package device
+
+import "postopc/internal/geom"
+
+// AppendKey serializes every electrical parameter that shapes the model's
+// currents and equivalent lengths, for the flow's content-addressed pattern
+// cache: cached site extractions embed equivalent lengths, so a parameter
+// change must change every window signature.
+func (m Model) AppendKey(dst []byte) []byte {
+	dst = geom.AppendKeyString(dst, "device")
+	return geom.AppendKeyFloat(dst,
+		m.P.VDD, m.P.VT0N, m.P.VT0P, m.P.VTRollOffV, m.P.VTRollOffLNM,
+		m.P.Alpha, m.P.KPrimeN, m.P.KPrimeP, m.P.I0LeakNAUM,
+		m.P.SubthresholdSwingMV, m.P.CGateFFUM, m.P.CWireFF,
+		m.P.SigmaLRandomNM, m.P.RContactOhm)
+}

@@ -1,0 +1,15 @@
+package flow
+
+import (
+	"postopc/internal/cache"
+	"postopc/internal/report"
+)
+
+// CacheStatsTable renders pattern-cache counters as a report table, for CLI
+// and example output.
+func CacheStatsTable(st cache.Stats) *report.Table {
+	tb := report.NewTable("pattern cache",
+		"lookups", "hits", "waits", "misses", "hit rate", "evictions", "entries")
+	tb.AddF(3, st.Lookups(), st.Hits, st.Waits, st.Misses, st.HitRate(), st.Evictions, st.Entries)
+	return tb
+}

@@ -68,120 +68,62 @@ type ExtractOptions struct {
 	Workers int
 }
 
-// ExtractInstance runs the window pipeline for one placed instance:
-// clip → OPC → aerial series → CD extraction → equivalent lengths.
+// ExtractInstance runs the staged window pipeline for one placed instance:
+// clip → canonicalize → OPC → image → contour → profile (see stages.go).
+// All simulation happens in canonical window coordinates, so the result for
+// an instance depends only on its layout context — and, when f.Cache is
+// set, repeated contexts are recalled instead of recomputed.
 func (f *Flow) ExtractInstance(chip *layout.Chip, inst *layout.Instance, opt ExtractOptions) (*GateExtraction, error) {
+	env, err := f.envFor(opt.Mode)
+	if err != nil {
+		return nil, err
+	}
 	if len(opt.Corners) == 0 {
 		opt.Corners = []litho.Corner{litho.Nominal}
 	}
+	return f.extractInstance(env, chip, inst, opt)
+}
+
+// extractInstance is ExtractInstance with the stage environment already
+// built (ExtractGates builds it once for all workers).
+func (f *Flow) extractInstance(env *stageEnv, chip *layout.Chip, inst *layout.Instance, opt ExtractOptions) (*GateExtraction, error) {
 	sites := inst.GateSites()
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("flow: instance %s has no gate sites", inst.Name)
 	}
-	recipe := f.VerifySim.Recipe()
-	ambit := recipe.GuardNM + f.PDK.Rules.PolyPitchNM
+	recipe := env.Verify.Recipe()
+	ambit := recipe.GuardNM + env.PitchNM
 	window := cdx.WindowOf(sites, ambit)
-
-	// Drawn poly in the window, as polygons.
-	var drawn []geom.Polygon
-	for _, r := range chip.WindowShapes(layout.LayerPoly, window) {
-		drawn = append(drawn, r.Polygon())
-	}
-	if len(drawn) == 0 {
+	clip := stageClip(chip, window)
+	if len(clip.Polys) == 0 {
 		return nil, fmt.Errorf("flow: no poly in window of %s", inst.Name)
 	}
-
-	out := &GateExtraction{Gate: inst.Name, Cell: inst.Cell.Name, Mode: opt.Mode}
-	mask := drawn
-	switch opt.Mode {
-	case OPCNone:
-		// Image the drawn layout.
-	case OPCRule:
-		rt, err := f.ruleTable()
-		if err != nil {
-			return nil, err
+	// Canonicalize the sites to match the clip: cell-local names,
+	// window-relative channels. Instance identity must not reach the
+	// artifact — it would defeat both caching and determinism.
+	csites := make([]layout.GateSite, len(sites))
+	for i, s := range sites {
+		csites[i] = layout.GateSite{
+			Name:    localSiteName(s.Name),
+			Pin:     s.Pin,
+			Kind:    s.Kind,
+			Channel: s.Channel.Translate(geom.Pt(-clip.Origin.X, -clip.Origin.Y)),
 		}
-		var ctx geom.Region
-		for _, pg := range drawn {
-			ctx = append(ctx, geom.RegionFromPolygon(pg)...)
-		}
-		ctx = ctx.Normalize()
-		corrected, err := opc.RuleBased(drawn, ctx, rt, f.OPCOpt.Fragment, 4*f.PDK.Rules.PolyPitchNM)
-		if err != nil {
-			return nil, fmt.Errorf("flow: rule OPC on %s: %w", inst.Name, err)
-		}
-		mask = corrected
-		// Report residual EPE of the rule-corrected mask at nominal,
-		// ignoring window-boundary clipping artifacts.
-		frags, epes, err := f.verifyEPE(corrected, drawn)
-		if err != nil {
-			return nil, err
-		}
-		out.EPEValues, err = interiorEPEs(frags, epes, window.Expand(-recipe.GuardNM))
-		if err != nil {
-			return nil, fmt.Errorf("flow: rule OPC on %s: %w", inst.Name, err)
-		}
-		out.EPE = opc.SummarizeEPE(out.EPEValues, 8)
-	case OPCModel:
-		res, err := opc.ModelBased(f.OPCModelSim, drawn, nil, f.OPCOpt)
-		if err != nil {
-			return nil, fmt.Errorf("flow: model OPC on %s: %w", inst.Name, err)
-		}
-		mask = res.Polygons
-		out.EPEValues, err = interiorEPEs(res.Fragmented, res.FinalEPE, window.Expand(-recipe.GuardNM))
-		if err != nil {
-			return nil, fmt.Errorf("flow: model OPC on %s: %w", inst.Name, err)
-		}
-		out.EPE = opc.SummarizeEPE(out.EPEValues, 8)
 	}
-
-	raster := litho.RasterizeInWindow(mask, window, recipe.PixelNM)
-	imgs, err := f.VerifySim.AerialSeries(raster, opt.Corners)
+	art, err := f.cachedWindow(env, clip, csites, opt.Corners)
 	if err != nil {
-		return nil, fmt.Errorf("flow: imaging window of %s: %w", inst.Name, err)
+		return nil, fmt.Errorf("flow: window of %s: %w", inst.Name, err)
 	}
-
-	cdxOpt := cdx.Options{Slices: f.CDX.Slices, ScanHalfNM: f.CDX.ScanHalfNM, EdgeMarginNM: f.CDX.EdgeMarginNM}
-	for _, site := range sites {
-		local := localSiteName(site.Name)
-		sc := SiteCD{LocalName: local, Kind: site.Kind, DrawnL: float64(site.L())}
-		for ci, corner := range opt.Corners {
-			th := recipe.EffectiveThreshold(corner)
-			g := cdx.ExtractGate(imgs[ci], site, th, recipe.Polarity, cdxOpt)
-			cc := CornerCD{
-				Corner:        corner,
-				MeanCD:        g.MeanCD(),
-				Nonuniformity: g.Nonuniformity(),
-				Printed:       g.Printed,
-			}
-			if cds := g.CDs(); len(cds) > 0 {
-				d, l, err := f.Dev.EquivalentLengths(site.Kind, cds)
-				if err == nil {
-					cc.DelayEL, cc.LeakEL = d, l
-				} else {
-					cc.Printed = false
-				}
-			}
-			sc.PerCorner = append(sc.PerCorner, cc)
-		}
-		out.Sites = append(out.Sites, sc)
-	}
-	return out, nil
-}
-
-// verifyEPE measures residual EPE of a corrected mask against drawn targets
-// using the OPC model at nominal.
-func (f *Flow) verifyEPE(corrected, drawn []geom.Polygon) ([]*opc.FragmentedPolygon, []float64, error) {
-	var targets []*opc.FragmentedPolygon
-	for _, pg := range drawn {
-		fp, err := opc.Fragmentize(pg, f.OPCOpt.Fragment)
-		if err != nil {
-			return nil, nil, err
-		}
-		targets = append(targets, fp)
-	}
-	epes, _, err := opc.Verify(f.OPCModelSim, corrected, nil, targets, litho.Nominal, 8)
-	return targets, epes, err
+	// The artifact is shared between cache hits; the extraction borrows its
+	// slices rather than copying, so consumers must not mutate them.
+	return &GateExtraction{
+		Gate:      inst.Name,
+		Cell:      inst.Cell.Name,
+		Sites:     art.Sites,
+		EPE:       art.EPE,
+		EPEValues: art.EPEValues,
+		Mode:      opt.Mode,
+	}, nil
 }
 
 // interiorEPEs keeps only the EPE samples whose fragment control point lies
@@ -233,15 +175,19 @@ func (f *Flow) ExtractGates(chip *layout.Chip, names []string, opt ExtractOption
 		insts[i] = inst
 	}
 	chip.BuildIndex()
-	if opt.Mode == OPCRule {
-		if _, err := f.ruleTable(); err != nil {
-			return nil, err
-		}
+	// Build the stage environment (and, for rule mode, the OPC deck) once
+	// so the parallel workers only read shared state.
+	env, err := f.envFor(opt.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if len(opt.Corners) == 0 {
+		opt.Corners = []litho.Corner{litho.Nominal}
 	}
 
 	exts := make([]*GateExtraction, len(names))
-	err := par.ForEach(len(names), func(i int) error {
-		ext, err := f.ExtractInstance(chip, insts[i], opt)
+	err = par.ForEach(len(names), func(i int) error {
+		ext, err := f.extractInstance(env, chip, insts[i], opt)
 		if err != nil {
 			return err
 		}

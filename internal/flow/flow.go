@@ -10,6 +10,7 @@ package flow
 import (
 	"sync"
 
+	"postopc/internal/cache"
 	"postopc/internal/geom"
 	"postopc/internal/layout"
 	"postopc/internal/litho"
@@ -68,6 +69,13 @@ type Flow struct {
 	// RuleTab optionally pre-seeds the rule-based OPC deck; when nil the
 	// deck is built lazily (and race-safely) on first use.
 	RuleTab *opc.RuleTable
+	// Cache, when non-nil, memoizes window and tile artifacts by content
+	// signature (see signature.go): repeated layout contexts — and repeated
+	// extractions of the same gates across sweep iterations — are recalled
+	// instead of resimulated. Results are byte-identical with and without
+	// it, at any worker count. Shallow Flow copies share the store, which
+	// is safe: signatures capture every option a copy might tweak.
+	Cache *cache.Store
 
 	// lazy holds the members built on first use. It is a pointer so that
 	// shallow copies of a Flow (e.g. per-sweep option tweaks) share one
@@ -140,6 +148,22 @@ func New(p *pdk.PDK, cfg Config) (*Flow, error) {
 		},
 		lazy: &lazyInits{},
 	}, nil
+}
+
+// EnableCache attaches a pattern cache bounded to roughly maxEntries
+// artifacts (<= 0 selects the default bound) and returns f for chaining.
+func (f *Flow) EnableCache(maxEntries int) *Flow {
+	f.Cache = cache.New(maxEntries)
+	return f
+}
+
+// CacheStats snapshots the pattern cache's counters (zero Stats when no
+// cache is attached).
+func (f *Flow) CacheStats() cache.Stats {
+	if f.Cache == nil {
+		return cache.Stats{}
+	}
+	return f.Cache.Stats()
 }
 
 // Place runs the row placer on a netlist.

@@ -7,7 +7,6 @@ import (
 	"postopc/internal/geom"
 	"postopc/internal/layout"
 	"postopc/internal/litho"
-	"postopc/internal/opc"
 	"postopc/internal/par"
 )
 
@@ -17,6 +16,11 @@ import (
 // tiled, each tile's poly is (optionally) OPC'd and imaged through the
 // process window, and the printed image is scanned for pinching (a line
 // narrowing below the process floor) and bridging (two lines merging).
+//
+// Each tile is computed in canonical (window-origin) coordinates by
+// stageTileScan (stages.go), so tiles holding identical layout context —
+// regular datapaths are full of them — share one simulation through the
+// pattern cache when f.Cache is set.
 
 // HotspotKind classifies a printability failure.
 type HotspotKind uint8
@@ -118,17 +122,22 @@ func (f *Flow) VerifyChip(chip *layout.Chip, opt ORCOptions) (*ORCReport, error)
 	if opt.MaxPullbackNM <= 0 {
 		opt.MaxPullbackNM = float64(f.PDK.Rules.PolyExtNM) - 20
 	}
-	recipe := f.VerifySim.Recipe()
-	guard := recipe.GuardNM
+	scan := orcScanOptions{
+		PinchFrac:      opt.PinchFrac,
+		StepNM:         opt.StepNM,
+		EndExclusionNM: opt.EndExclusionNM,
+		MaxPullbackNM:  opt.MaxPullbackNM,
+	}
 	die := chip.Die
 	// Build shared state up front so the tile workers only read: the
-	// chip's spatial index and (for rule mode) the OPC deck.
+	// chip's spatial index and the stage environment (with the OPC deck
+	// for rule mode).
 	chip.BuildIndex()
-	if opt.Mode == OPCRule {
-		if _, err := f.ruleTable(); err != nil {
-			return nil, err
-		}
+	env, err := f.envFor(opt.Mode)
+	if err != nil {
+		return nil, err
 	}
+	guard := env.Verify.Recipe().GuardNM
 	var tiles []geom.Rect // row-major: the deterministic merge order
 	for ty := die.Y0; ty < die.Y1; ty += opt.TileNM {
 		for tx := die.X0; tx < die.X1; tx += opt.TileNM {
@@ -136,9 +145,9 @@ func (f *Flow) VerifyChip(chip *layout.Chip, opt ORCOptions) (*ORCReport, error)
 		}
 	}
 	shards := make([]*ORCReport, len(tiles))
-	err := par.ForEach(len(tiles), func(i int) error {
+	err = par.ForEach(len(tiles), func(i int) error {
 		shard := &ORCReport{ByKind: map[HotspotKind]int{}}
-		if err := f.verifyTile(chip, tiles[i], guard, opt, shard); err != nil {
+		if err := f.verifyTile(env, chip, tiles[i], guard, opt.Corners, scan, shard); err != nil {
 			return err
 		}
 		shards[i] = shard
@@ -167,59 +176,36 @@ func (f *Flow) VerifyChip(chip *layout.Chip, opt ORCOptions) (*ORCReport, error)
 	return rep, nil
 }
 
-func (f *Flow) verifyTile(chip *layout.Chip, tile geom.Rect, guard geom.Coord, opt ORCOptions, rep *ORCReport) error {
-	recipe := f.VerifySim.Recipe()
-	window := tile.Expand(guard + f.PDK.Rules.PolyPitchNM)
-	rects := chip.WindowShapes(layout.LayerPoly, window)
+// verifyTile scans one tile: the window is clipped and canonicalized, the
+// scan runs (or is recalled) in canonical coordinates, and the resulting
+// hotspots are mapped back to chip space with their owning instances.
+func (f *Flow) verifyTile(env *stageEnv, chip *layout.Chip, tile geom.Rect, guard geom.Coord,
+	corners []litho.Corner, scan orcScanOptions, rep *ORCReport) error {
+	window := tile.Expand(guard + env.PitchNM)
+	origin, rects := chip.CanonicalWindowRects(layout.LayerPoly, window)
 	if len(rects) == 0 {
 		return nil
 	}
-	var drawn []geom.Polygon
-	for _, r := range rects {
-		drawn = append(drawn, r.Polygon())
-	}
-	mask := drawn
-	switch opt.Mode {
-	case OPCRule:
-		rt, err := f.ruleTable()
-		if err != nil {
-			return err
-		}
-		var ctx geom.Region
-		for _, pg := range drawn {
-			ctx = append(ctx, geom.RegionFromPolygon(pg)...)
-		}
-		corrected, err := opc.RuleBased(drawn, ctx.Normalize(), rt, f.OPCOpt.Fragment, 4*f.PDK.Rules.PolyPitchNM)
-		if err != nil {
-			return err
-		}
-		mask = corrected
-	case OPCModel:
-		res, err := opc.ModelBased(f.OPCModelSim, drawn, nil, f.OPCOpt)
-		if err != nil {
-			return err
-		}
-		mask = res.Polygons
-	}
-	raster := litho.RasterizeInWindow(mask, window, recipe.PixelNM)
-	imgs, err := f.VerifySim.AerialSeries(raster, opt.Corners)
+	back := geom.Pt(-origin.X, -origin.Y)
+	art, err := f.cachedTile(env, rects, window.Translate(back), tile.Translate(back), corners, scan)
 	if err != nil {
 		return err
 	}
-	drawnRegion := geom.RegionFromRects(rects...).Normalize()
-	for ci, corner := range opt.Corners {
-		th := recipe.EffectiveThreshold(corner)
-		f.scanPinches(chip, imgs[ci], rects, tile, th, corner, opt, rep)
-		f.scanBridges(chip, imgs[ci], rects, drawnRegion, tile, th, corner, opt, rep)
+	rep.ScannedCDs += art.ScannedCDs
+	for _, h := range art.Hotspots {
+		h.At = geom.Pt(h.At.X+origin.X, h.At.Y+origin.Y)
+		h.Gate = nearestInstance(chip, h.At)
+		rep.add(h)
 	}
 	return nil
 }
 
 // scanPinches walks each drawn poly rect lengthwise measuring the printed
-// CD across it.
-func (f *Flow) scanPinches(chip *layout.Chip, im *litho.Image, rects []geom.Rect,
-	tile geom.Rect, th float64, corner litho.Corner, opt ORCOptions, rep *ORCReport) {
-	recipe := f.VerifySim.Recipe()
+// CD across it. Coordinates are canonical (window-relative); hotspots go to
+// the tile artifact with Gate unresolved.
+func scanPinches(env *stageEnv, im *litho.Image, rects []geom.Rect,
+	tile geom.Rect, th float64, corner litho.Corner, scan orcScanOptions, art *TileArtifact) {
+	recipe := env.Verify.Recipe()
 	for _, r := range rects {
 		vertical := r.H() >= r.W()
 		var drawnW geom.Coord
@@ -228,16 +214,16 @@ func (f *Flow) scanPinches(chip *layout.Chip, im *litho.Image, rects []geom.Rect
 		} else {
 			drawnW = r.H()
 		}
-		minCD := opt.PinchFrac * float64(drawnW)
+		minCD := scan.PinchFrac * float64(drawnW)
 		scanHalf := float64(drawnW) * 2.5
 		length := r.H()
 		if !vertical {
 			length = r.W()
 		}
 		// CD scans stay away from the ends (judged by the pullback check).
-		lo := opt.EndExclusionNM
-		hi := float64(length) - opt.EndExclusionNM
-		steps := int((hi-lo)/opt.StepNM) + 1
+		lo := scan.EndExclusionNM
+		hi := float64(length) - scan.EndExclusionNM
+		steps := int((hi-lo)/scan.StepNM) + 1
 		// Report at most one pinch per feature per corner: the worst scan.
 		worst := Hotspot{CDNM: math.Inf(1)}
 		found := false
@@ -257,7 +243,7 @@ func (f *Flow) scanPinches(chip *layout.Chip, im *litho.Image, rects []geom.Rect
 				at = geom.Pt(geom.Coord(x), geom.Coord(cy))
 				res = im.MeasureCD(litho.AxisY, x, cy-scanHalf, cy+scanHalf, cy, th, recipe.Polarity)
 			}
-			rep.ScannedCDs++
+			art.ScannedCDs++
 			if !tile.Contains(at) {
 				continue // counted by the neighbouring tile
 			}
@@ -267,16 +253,15 @@ func (f *Flow) scanPinches(chip *layout.Chip, im *litho.Image, rects []geom.Rect
 					cd = res.CD
 				}
 				if cd < worst.CDNM {
-					worst = Hotspot{Kind: Pinch, At: at, CDNM: cd, Corner: corner,
-						Gate: nearestInstance(chip, at)}
+					worst = Hotspot{Kind: Pinch, At: at, CDNM: cd, Corner: corner}
 					found = true
 				}
 			}
 		}
 		if found {
-			rep.add(worst)
+			art.Hotspots = append(art.Hotspots, worst)
 		}
-		f.scanPullback(chip, im, r, vertical, tile, th, corner, opt, rep)
+		scanPullback(env, im, r, vertical, tile, th, corner, scan, art)
 	}
 }
 
@@ -284,14 +269,14 @@ func (f *Flow) scanPinches(chip *layout.Chip, im *litho.Image, rects []geom.Rect
 // its drawn position and flags retreats beyond the tolerance. Only long
 // features (strips) have meaningful line ends; squares are judged by the
 // pinch check alone.
-func (f *Flow) scanPullback(chip *layout.Chip, im *litho.Image, r geom.Rect, vertical bool,
-	tile geom.Rect, th float64, corner litho.Corner, opt ORCOptions, rep *ORCReport) {
-	recipe := f.VerifySim.Recipe()
+func scanPullback(env *stageEnv, im *litho.Image, r geom.Rect, vertical bool,
+	tile geom.Rect, th float64, corner litho.Corner, scan orcScanOptions, art *TileArtifact) {
+	recipe := env.Verify.Recipe()
 	length := r.H()
 	if !vertical {
 		length = r.W()
 	}
-	if float64(length) < 3*opt.EndExclusionNM {
+	if float64(length) < 3*scan.EndExclusionNM {
 		return
 	}
 	var res litho.CDResult
@@ -299,22 +284,22 @@ func (f *Flow) scanPullback(chip *layout.Chip, im *litho.Image, r geom.Rect, ver
 	if vertical {
 		cx := float64(r.X0+r.X1) / 2
 		mid := float64(r.Y0+r.Y1) / 2
-		res = im.MeasureCD(litho.AxisY, cx, float64(r.Y0)-2*opt.MaxPullbackNM,
-			float64(r.Y1)+2*opt.MaxPullbackNM, mid, th, recipe.Polarity)
+		res = im.MeasureCD(litho.AxisY, cx, float64(r.Y0)-2*scan.MaxPullbackNM,
+			float64(r.Y1)+2*scan.MaxPullbackNM, mid, th, recipe.Polarity)
 		drawnLo, drawnHi = float64(r.Y0), float64(r.Y1)
 	} else {
 		cy := float64(r.Y0+r.Y1) / 2
 		mid := float64(r.X0+r.X1) / 2
-		res = im.MeasureCD(litho.AxisX, cy, float64(r.X0)-2*opt.MaxPullbackNM,
-			float64(r.X1)+2*opt.MaxPullbackNM, mid, th, recipe.Polarity)
+		res = im.MeasureCD(litho.AxisX, cy, float64(r.X0)-2*scan.MaxPullbackNM,
+			float64(r.X1)+2*scan.MaxPullbackNM, mid, th, recipe.Polarity)
 		drawnLo, drawnHi = float64(r.X0), float64(r.X1)
 	}
-	rep.ScannedCDs++
+	art.ScannedCDs++
 	if !res.OK {
 		return // total failure already reported as a pinch
 	}
 	report := func(pullback, pos float64) {
-		if pullback <= opt.MaxPullbackNM {
+		if pullback <= scan.MaxPullbackNM {
 			return
 		}
 		var at geom.Point
@@ -326,8 +311,7 @@ func (f *Flow) scanPullback(chip *layout.Chip, im *litho.Image, r geom.Rect, ver
 		if !tile.Contains(at) {
 			return
 		}
-		rep.add(Hotspot{Kind: EndPullback, At: at, CDNM: pullback, Corner: corner,
-			Gate: nearestInstance(chip, at)})
+		art.Hotspots = append(art.Hotspots, Hotspot{Kind: EndPullback, At: at, CDNM: pullback, Corner: corner})
 	}
 	report(res.Lo-drawnLo, res.Lo)
 	report(drawnHi-res.Hi, res.Hi)
@@ -337,9 +321,9 @@ func (f *Flow) scanPullback(chip *layout.Chip, im *litho.Image, r geom.Rect, ver
 // drawn is the region of all drawn geometry in the window: a sample only
 // counts as a bridge when resist prints where nothing is drawn (this also
 // rejects pairs separated by an intermediate feature).
-func (f *Flow) scanBridges(chip *layout.Chip, im *litho.Image, rects []geom.Rect,
-	drawn geom.Region, tile geom.Rect, th float64, corner litho.Corner, opt ORCOptions, rep *ORCReport) {
-	recipe := f.VerifySim.Recipe()
+func scanBridges(env *stageEnv, im *litho.Image, rects []geom.Rect,
+	drawn geom.Region, tile geom.Rect, th float64, corner litho.Corner, scan orcScanOptions, art *TileArtifact) {
+	recipe := env.Verify.Recipe()
 	printed := func(x, y float64) bool {
 		v := im.Sample(x, y)
 		if recipe.Polarity == litho.ClearField {
@@ -347,7 +331,7 @@ func (f *Flow) scanBridges(chip *layout.Chip, im *litho.Image, rects []geom.Rect
 		}
 		return v > th
 	}
-	maxSpace := 2 * f.PDK.Rules.PolyPitchNM
+	maxSpace := 2 * env.PitchNM
 	for i, a := range rects {
 		for _, b := range rects[i+1:] {
 			// Horizontal neighbours with y overlap.
@@ -360,18 +344,17 @@ func (f *Flow) scanBridges(chip *layout.Chip, im *litho.Image, rects []geom.Rect
 				continue
 			}
 			midX := float64(a.X1+b.X0) / 2
-			steps := int(float64(y1-y0)/opt.StepNM) + 1
+			steps := int(float64(y1-y0)/scan.StepNM) + 1
 			// At most one bridge hotspot per rect pair per corner.
 			for s := 0; s < steps; s++ {
 				y := float64(y0) + (float64(s)+0.5)/float64(steps)*float64(y1-y0)
 				at := geom.Pt(geom.Coord(midX), geom.Coord(y))
-				rep.ScannedCDs++
+				art.ScannedCDs++
 				if !tile.Contains(at) || drawn.Contains(at) {
 					continue
 				}
 				if printed(midX, y) {
-					rep.add(Hotspot{Kind: Bridge, At: at, CDNM: 0, Corner: corner,
-						Gate: nearestInstance(chip, at)})
+					art.Hotspots = append(art.Hotspots, Hotspot{Kind: Bridge, At: at, CDNM: 0, Corner: corner})
 					break
 				}
 			}

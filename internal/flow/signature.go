@@ -1,0 +1,126 @@
+package flow
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"postopc/internal/cache"
+	"postopc/internal/cdx"
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/litho"
+)
+
+// Window signatures: each cached artifact is keyed by a SHA-256 over the
+// canonical serialization of its full input — the environment fingerprint
+// (models, OPC and extraction options, device parameters, mode) plus the
+// canonical clipped geometry and the per-call parameters (sites, corners,
+// scan settings). Two calls with equal signatures are guaranteed to compute
+// identical artifacts, so the cache can substitute one for the other; the
+// Workers option never enters a signature because scheduling must not
+// change results.
+
+// envFor builds the stage environment for mode, including the fingerprint.
+// It is computed per call, never memoized on the Flow: sweeps tweak shallow
+// Flow copies (sharing lazy state but differing in options), and a stale
+// fingerprint would silently alias their signatures.
+func (f *Flow) envFor(mode OPCMode) (*stageEnv, error) {
+	env := &stageEnv{
+		Verify: f.VerifySim,
+		OPCSim: f.OPCModelSim,
+		OPCOpt: f.OPCOpt,
+		CDX: cdx.Options{
+			Slices:       f.CDX.Slices,
+			ScanHalfNM:   f.CDX.ScanHalfNM,
+			EdgeMarginNM: f.CDX.EdgeMarginNM,
+		},
+		Dev:     f.Dev,
+		PitchNM: f.PDK.Rules.PolyPitchNM,
+		Mode:    mode,
+	}
+	if mode == OPCRule {
+		rt, err := f.ruleTable()
+		if err != nil {
+			return nil, err
+		}
+		env.Rule = rt
+	}
+	b := geom.AppendKeyString(nil, "postopc/flow/v1")
+	b = geom.AppendKeyInt(b, int64(mode), int64(env.PitchNM))
+	b = env.Verify.AppendKey(b)
+	b = env.OPCSim.AppendKey(b)
+	b = env.OPCOpt.AppendKey(b)
+	if env.Rule != nil {
+		b = env.Rule.AppendKey(b)
+	}
+	b = env.CDX.AppendKey(b)
+	b = appendDevKey(b, env.Dev)
+	env.fingerprint = b
+	return env, nil
+}
+
+// appendDevKey serializes the device model. The kit's device.Model keys its
+// parameters precisely; an injected model without AppendKey falls back to
+// its Go-syntax representation, which covers exported state of comparable
+// implementations.
+func appendDevKey(dst []byte, dev deviceModel) []byte {
+	if k, ok := dev.(interface{ AppendKey([]byte) []byte }); ok {
+		return k.AppendKey(dst)
+	}
+	return geom.AppendKeyString(dst, fmt.Sprintf("%#v", dev))
+}
+
+// windowSignature keys one gate-extraction window: environment, canonical
+// clip, canonical sites, corners.
+func windowSignature(env *stageEnv, clip layout.CanonicalWindow, sites []layout.GateSite, corners []litho.Corner) cache.Key {
+	b := append([]byte(nil), env.fingerprint...)
+	b = geom.AppendKeyString(b, "window")
+	b = geom.AppendKeyRect(b, clip.Bounds)
+	b = geom.AppendKeyPolygons(b, clip.Polys)
+	b = geom.AppendKeyInt(b, int64(len(sites)))
+	for _, s := range sites {
+		b = geom.AppendKeyString(b, s.Name)
+		b = geom.AppendKeyInt(b, int64(s.Kind))
+		b = geom.AppendKeyRect(b, s.Channel)
+	}
+	b = litho.AppendKeyCorners(b, corners)
+	return cache.Key(sha256.Sum256(b))
+}
+
+// tileSignature keys one ORC tile: environment, canonical clipped rects,
+// canonical window and tile bounds, corners, scan parameters.
+func tileSignature(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, corners []litho.Corner, scan orcScanOptions) cache.Key {
+	b := append([]byte(nil), env.fingerprint...)
+	b = geom.AppendKeyString(b, "tile")
+	b = geom.AppendKeyRect(b, bounds)
+	b = geom.AppendKeyRect(b, tile)
+	b = geom.AppendKeyInt(b, int64(len(rects)))
+	for _, r := range rects {
+		b = geom.AppendKeyRect(b, r)
+	}
+	b = litho.AppendKeyCorners(b, corners)
+	b = geom.AppendKeyFloat(b, scan.PinchFrac, scan.StepNM, scan.EndExclusionNM, scan.MaxPullbackNM)
+	return cache.Key(sha256.Sum256(b))
+}
+
+// cachedWindow computes (or recalls) the window artifact for one canonical
+// clip. With no cache attached it simply runs the stages.
+func (f *Flow) cachedWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.GateSite, corners []litho.Corner) (*WindowArtifact, error) {
+	if f.Cache == nil {
+		return stageWindow(env, clip, sites, corners)
+	}
+	return cache.Do(f.Cache, windowSignature(env, clip, sites, corners), func() (*WindowArtifact, error) {
+		return stageWindow(env, clip, sites, corners)
+	})
+}
+
+// cachedTile computes (or recalls) the scan artifact for one canonical ORC
+// tile.
+func (f *Flow) cachedTile(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, corners []litho.Corner, scan orcScanOptions) (*TileArtifact, error) {
+	if f.Cache == nil {
+		return stageTileScan(env, rects, bounds, tile, corners, scan)
+	}
+	return cache.Do(f.Cache, tileSignature(env, rects, bounds, tile, corners, scan), func() (*TileArtifact, error) {
+		return stageTileScan(env, rects, bounds, tile, corners, scan)
+	})
+}

@@ -1,0 +1,242 @@
+package flow
+
+import (
+	"postopc/internal/cdx"
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/litho"
+	"postopc/internal/opc"
+)
+
+// This file decomposes the per-window work of extraction (extract.go) and
+// full-chip ORC (orc.go) into staged units — clip → canonicalize → OPC →
+// image → contour → profile — communicating through typed artifacts. Every
+// stage computes in canonical (window-origin) coordinates: the clipped
+// geometry is translated so the window's lower-left corner is (0,0) before
+// any simulation, which makes every float downstream a pure function of the
+// window's content rather than of its chip position. That purity is what
+// the content-addressed pattern cache (signature.go) relies on; it also
+// means the cached and uncached paths run the same code on the same bytes,
+// so enabling the cache can never change a result.
+//
+// Stage functions are deliberately free functions over an explicit
+// *stageEnv, never methods on Flow: everything they read is either a
+// parameter or a field of env, and env's fingerprint serializes all of it
+// into the cache signature. The cachekey analyzer (internal/analysis)
+// enforces this shape — a stage* function must not be a method and must not
+// read package-level state.
+
+// stageEnv captures every Flow-derived input of the staged computations.
+// Anything that can change a stage's output must be a field here AND must
+// be folded into fingerprint by envFor; Workers-style scheduling knobs must
+// never appear.
+type stageEnv struct {
+	// Verify is the accurate model driving imaging and verification.
+	Verify litho.Model
+	// OPCSim drives the OPC inner loop and EPE measurement.
+	OPCSim litho.Model
+	// OPCOpt configures model-based correction and fragmentation.
+	OPCOpt opc.Options
+	// Rule is the rule-based deck; non-nil exactly when Mode is OPCRule.
+	Rule *opc.RuleTable
+	// CDX configures gate CD extraction.
+	CDX cdx.Options
+	// Dev collapses CD profiles to equivalent lengths.
+	Dev deviceModel
+	// PitchNM is the kit's poly pitch (context ambit, rule reach, bridge
+	// search range).
+	PitchNM geom.Coord
+	// Mode is the OPC applied to each window.
+	Mode OPCMode
+
+	// fingerprint is the canonical serialization of every field above —
+	// the environment half of every window/tile signature.
+	fingerprint []byte
+}
+
+// WindowArtifact is the outcome of one window's OPC → image → contour →
+// profile chain, in canonical coordinates. Artifacts are shared between
+// cache hits and must be treated as immutable by every consumer.
+type WindowArtifact struct {
+	// Sites holds the per-transistor extractions, named by cell-local
+	// device name.
+	Sites []SiteCD
+	// EPE summarizes the interior residual EPE of the window's OPC run at
+	// nominal (zero-valued for OPCNone).
+	EPE opc.EPEStats
+	// EPEValues are the raw interior EPE samples behind EPE (nm).
+	EPEValues []float64
+}
+
+// TileArtifact is the outcome of one ORC tile scan in canonical
+// coordinates: hotspot locations are window-relative and instance names are
+// unresolved (the caller maps At back to chip space and fills Gate).
+// Artifacts are shared between cache hits and must be treated as immutable.
+type TileArtifact struct {
+	// Hotspots found in the tile, in scan order, Gate unset.
+	Hotspots []Hotspot
+	// ScannedCDs is the number of CD scans performed.
+	ScannedCDs int
+}
+
+// orcScanOptions are the geometric scan parameters of an ORC tile pass —
+// the subset of ORCOptions that changes the scan result (Workers stays
+// out; Corners and Mode are keyed separately).
+type orcScanOptions struct {
+	PinchFrac      float64
+	StepNM         float64
+	EndExclusionNM float64
+	MaxPullbackNM  float64
+}
+
+// stageClip clips the chip's poly layer inside window and canonicalizes it:
+// geometry is translated to the window origin and put into canonical
+// polygon order, so equal layout contexts anywhere on the chip produce
+// byte-identical clips.
+func stageClip(chip *layout.Chip, window geom.Rect) layout.CanonicalWindow {
+	return chip.CanonicalWindowPolygons(layout.LayerPoly, window)
+}
+
+// stageOPC applies the environment's correction mode to the drawn polygons
+// and, for the correcting modes with measureEPE set, measures the interior
+// residual EPE of the corrected mask against the drawn target at nominal.
+// interior bounds the EPE sample region (fragments created by clipping at
+// the window boundary measure roll-off, not OPC quality).
+func stageOPC(env *stageEnv, drawn []geom.Polygon, interior geom.Rect, measureEPE bool) (mask []geom.Polygon, epeValues []float64, err error) {
+	switch env.Mode {
+	case OPCNone:
+		return drawn, nil, nil
+	case OPCRule:
+		var ctx geom.Region
+		for _, pg := range drawn {
+			ctx = append(ctx, geom.RegionFromPolygon(pg)...)
+		}
+		corrected, err := opc.RuleBased(drawn, ctx.Normalize(), env.Rule, env.OPCOpt.Fragment, 4*env.PitchNM)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !measureEPE {
+			return corrected, nil, nil
+		}
+		var targets []*opc.FragmentedPolygon
+		for _, pg := range drawn {
+			fp, err := opc.Fragmentize(pg, env.OPCOpt.Fragment)
+			if err != nil {
+				return nil, nil, err
+			}
+			targets = append(targets, fp)
+		}
+		epes, _, err := opc.Verify(env.OPCSim, corrected, nil, targets, litho.Nominal, 8)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals, err := interiorEPEs(targets, epes, interior)
+		if err != nil {
+			return nil, nil, err
+		}
+		return corrected, vals, nil
+	default: // OPCModel
+		res, err := opc.ModelBased(env.OPCSim, drawn, nil, env.OPCOpt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !measureEPE {
+			return res.Polygons, nil, nil
+		}
+		vals, err := interiorEPEs(res.Fragmented, res.FinalEPE, interior)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Polygons, vals, nil
+	}
+}
+
+// stageImage rasterizes the mask over the canonical window and images it
+// through the requested corners with the verification model.
+func stageImage(env *stageEnv, mask []geom.Polygon, bounds geom.Rect, corners []litho.Corner) ([]*litho.Image, error) {
+	recipe := env.Verify.Recipe()
+	raster := litho.RasterizeInWindow(mask, bounds, recipe.PixelNM)
+	return env.Verify.AerialSeries(raster, corners)
+}
+
+// stageProfile extracts each gate site's printed CD profile from the corner
+// images and collapses it to equivalent lengths. sites are in canonical
+// coordinates with cell-local names.
+func stageProfile(env *stageEnv, imgs []*litho.Image, sites []layout.GateSite, corners []litho.Corner) []SiteCD {
+	recipe := env.Verify.Recipe()
+	out := make([]SiteCD, 0, len(sites))
+	for _, site := range sites {
+		sc := SiteCD{LocalName: site.Name, Kind: site.Kind, DrawnL: float64(site.L())}
+		for ci, corner := range corners {
+			th := recipe.EffectiveThreshold(corner)
+			g := cdx.ExtractGate(imgs[ci], site, th, recipe.Polarity, env.CDX)
+			cc := CornerCD{
+				Corner:        corner,
+				MeanCD:        g.MeanCD(),
+				Nonuniformity: g.Nonuniformity(),
+				Printed:       g.Printed,
+			}
+			if cds := g.CDs(); len(cds) > 0 {
+				d, l, err := env.Dev.EquivalentLengths(site.Kind, cds)
+				if err == nil {
+					cc.DelayEL, cc.LeakEL = d, l
+				} else {
+					cc.Printed = false
+				}
+			}
+			sc.PerCorner = append(sc.PerCorner, cc)
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// stageWindow chains OPC → image → profile over one canonical clip: the
+// unit of work the pattern cache memoizes for gate extraction.
+func stageWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.GateSite, corners []litho.Corner) (*WindowArtifact, error) {
+	guard := env.Verify.Recipe().GuardNM
+	mask, epeValues, err := stageOPC(env, clip.Polys, clip.Bounds.Expand(-guard), true)
+	if err != nil {
+		return nil, err
+	}
+	imgs, err := stageImage(env, mask, clip.Bounds, corners)
+	if err != nil {
+		return nil, err
+	}
+	art := &WindowArtifact{
+		Sites:     stageProfile(env, imgs, sites, corners),
+		EPEValues: epeValues,
+	}
+	if env.Mode != OPCNone {
+		art.EPE = opc.SummarizeEPE(epeValues, 8)
+	}
+	return art, nil
+}
+
+// stageTileScan is the ORC counterpart of stageWindow: OPC → image → pinch
+// / bridge / pullback scans over one canonical tile window. rects are the
+// canonical clipped poly rects, bounds the canonical window, tile the
+// canonical interior tile that owns the hotspots.
+func stageTileScan(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, corners []litho.Corner, scan orcScanOptions) (*TileArtifact, error) {
+	var drawn []geom.Polygon
+	for _, r := range rects {
+		drawn = append(drawn, r.Polygon())
+	}
+	mask, _, err := stageOPC(env, drawn, geom.Rect{}, false)
+	if err != nil {
+		return nil, err
+	}
+	imgs, err := stageImage(env, mask, bounds, corners)
+	if err != nil {
+		return nil, err
+	}
+	art := &TileArtifact{}
+	drawnRegion := geom.RegionFromRects(rects...).Normalize()
+	recipe := env.Verify.Recipe()
+	for ci, corner := range corners {
+		th := recipe.EffectiveThreshold(corner)
+		scanPinches(env, imgs[ci], rects, tile, th, corner, scan, art)
+		scanBridges(env, imgs[ci], rects, drawnRegion, tile, th, corner, scan, art)
+	}
+	return art, nil
+}

@@ -1,0 +1,132 @@
+package geom
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// This file provides the canonical forms and serialization that the flow's
+// content-addressed pattern cache hashes: two layout windows holding the
+// same geometry — regardless of which instances contributed which shape, in
+// what order, or where on the chip the window sits (the caller translates
+// to the window origin first) — must serialize to identical bytes.
+
+// Canonical returns pg in canonical form: counter-clockwise orientation,
+// vertices rotated to start at the lexicographically smallest vertex
+// (minimum Y, then minimum X). Geometrically equal polygons whose vertex
+// lists differ only by orientation or starting point canonicalize to the
+// same vertex sequence.
+func (pg Polygon) Canonical() Polygon {
+	if len(pg) == 0 {
+		return nil
+	}
+	out := pg.Clone()
+	if !out.IsCCW() {
+		out = out.Reverse()
+	}
+	start := 0
+	for i, p := range out {
+		s := out[start]
+		if p.Y < s.Y || (p.Y == s.Y && p.X < s.X) {
+			start = i
+		}
+	}
+	rot := make(Polygon, len(out))
+	copy(rot, out[start:])
+	copy(rot[len(out)-start:], out[:start])
+	return rot
+}
+
+// comparePolygons orders canonical polygons lexicographically by vertex
+// sequence (then by length).
+func comparePolygons(a, b Polygon) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i].Y != b[i].Y:
+			if a[i].Y < b[i].Y {
+				return -1
+			}
+			return 1
+		case a[i].X != b[i].X:
+			if a[i].X < b[i].X {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// CanonicalPolygons canonicalizes every polygon and sorts the set into a
+// single canonical order, so that the serialized form is independent of
+// construction order. The input is not modified.
+func CanonicalPolygons(polys []Polygon) []Polygon {
+	out := make([]Polygon, len(polys))
+	for i, pg := range polys {
+		out[i] = pg.Canonical()
+	}
+	sort.Slice(out, func(i, j int) bool { return comparePolygons(out[i], out[j]) < 0 })
+	return out
+}
+
+// Key-serialization helpers. Every package contributing to a window
+// signature appends its inputs through these so the byte layout is uniform:
+// fixed-width little-endian integers, IEEE-754 bit patterns for floats, and
+// length-prefixed strings and vertex lists.
+
+// AppendKeyInt appends int64 values in fixed little-endian form.
+func AppendKeyInt(dst []byte, vs ...int64) []byte {
+	for _, v := range vs {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+// AppendKeyFloat appends float64 values as their IEEE-754 bit patterns.
+func AppendKeyFloat(dst []byte, vs ...float64) []byte {
+	for _, v := range vs {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// AppendKeyString appends a length-prefixed string.
+func AppendKeyString(dst []byte, s string) []byte {
+	dst = AppendKeyInt(dst, int64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendKeyRect appends the rectangle's four coordinates.
+func AppendKeyRect(dst []byte, r Rect) []byte {
+	return AppendKeyInt(dst, r.X0, r.Y0, r.X1, r.Y1)
+}
+
+// AppendKeyPolygon appends a length-prefixed vertex list.
+func AppendKeyPolygon(dst []byte, pg Polygon) []byte {
+	dst = AppendKeyInt(dst, int64(len(pg)))
+	for _, p := range pg {
+		dst = AppendKeyInt(dst, p.X, p.Y)
+	}
+	return dst
+}
+
+// AppendKeyPolygons appends a count-prefixed list of polygons. Pass the
+// result of CanonicalPolygons for an order-independent serialization.
+func AppendKeyPolygons(dst []byte, polys []Polygon) []byte {
+	dst = AppendKeyInt(dst, int64(len(polys)))
+	for _, pg := range polys {
+		dst = AppendKeyPolygon(dst, pg)
+	}
+	return dst
+}

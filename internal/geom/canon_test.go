@@ -1,0 +1,100 @@
+package geom
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestPolygonCanonicalInvariance(t *testing.T) {
+	base := Polygon{Pt(0, 0), Pt(10, 0), Pt(10, 5), Pt(0, 5)}
+	variants := []Polygon{
+		base,
+		{Pt(10, 0), Pt(10, 5), Pt(0, 5), Pt(0, 0)}, // rotated start
+		{Pt(0, 5), Pt(10, 5), Pt(10, 0), Pt(0, 0)}, // clockwise
+		base.Reverse(), // clockwise, other start
+	}
+	want := base.Canonical()
+	if !want.IsCCW() {
+		t.Fatal("canonical form must be CCW")
+	}
+	if want[0] != Pt(0, 0) {
+		t.Fatalf("canonical start = %v, want lexicographically smallest (0,0)", want[0])
+	}
+	for i, v := range variants {
+		if got := v.Canonical(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("variant %d canonicalized to %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCanonicalPolygonsOrderIndependent(t *testing.T) {
+	a := R(0, 0, 10, 5).Polygon()
+	b := R(20, 0, 30, 5).Polygon()
+	c := Polygon{Pt(40, 5), Pt(50, 5), Pt(50, 0), Pt(40, 0)} // clockwise
+	x := CanonicalPolygons([]Polygon{a, b, c})
+	y := CanonicalPolygons([]Polygon{c.Reverse(), b, a})
+	if !reflect.DeepEqual(x, y) {
+		t.Fatalf("canonical sets differ:\n%v\n%v", x, y)
+	}
+	if !bytes.Equal(AppendKeyPolygons(nil, x), AppendKeyPolygons(nil, y)) {
+		t.Fatal("serialized canonical sets differ")
+	}
+}
+
+func TestCanonicalTranslationInvariance(t *testing.T) {
+	polys := []Polygon{
+		R(100, 200, 190, 1200).Polygon(),
+		R(440, 200, 530, 1200).Polygon(),
+	}
+	d := Pt(7130, -3240)
+	var moved []Polygon
+	for _, pg := range polys {
+		moved = append(moved, pg.Translate(d))
+	}
+	// Translate both sets back to their common bounding-box origin: the
+	// serializations must agree byte for byte.
+	norm := func(ps []Polygon) []byte {
+		bb := ps[0].BBox()
+		for _, pg := range ps[1:] {
+			bb = bb.Union(pg.BBox())
+		}
+		var rel []Polygon
+		for _, pg := range ps {
+			rel = append(rel, pg.Translate(Pt(-bb.X0, -bb.Y0)))
+		}
+		return AppendKeyPolygons(nil, CanonicalPolygons(rel))
+	}
+	if !bytes.Equal(norm(polys), norm(moved)) {
+		t.Fatal("translated window serialized differently from the original")
+	}
+}
+
+func TestAppendKeyEncodings(t *testing.T) {
+	if got := len(AppendKeyInt(nil, 1, 2, 3)); got != 24 {
+		t.Fatalf("AppendKeyInt wrote %d bytes, want 24", got)
+	}
+	if got := len(AppendKeyFloat(nil, 1.5)); got != 8 {
+		t.Fatalf("AppendKeyFloat wrote %d bytes, want 8", got)
+	}
+	// +0.0 and -0.0 must key differently (distinct bit patterns) but two
+	// equal computations of the same value must not.
+	if bytes.Equal(AppendKeyFloat(nil, 0.0), AppendKeyFloat(nil, negZero())) {
+		t.Fatal("+0 and -0 serialized identically")
+	}
+	if !bytes.Equal(AppendKeyString(nil, "abc"), AppendKeyString(nil, "abc")) {
+		t.Fatal("equal strings serialized differently")
+	}
+	// Length prefixes keep concatenation ambiguity out: ("a","bc") and
+	// ("ab","c") must serialize differently.
+	x := AppendKeyString(AppendKeyString(nil, "a"), "bc")
+	y := AppendKeyString(AppendKeyString(nil, "ab"), "c")
+	if bytes.Equal(x, y) {
+		t.Fatal("length-prefixed strings are ambiguous under concatenation")
+	}
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}

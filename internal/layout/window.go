@@ -1,0 +1,73 @@
+package layout
+
+import "postopc/internal/geom"
+
+// Window canonicalization for the flow's pattern cache: a clipped
+// simulation window is reduced to translation-normalized, canonically
+// ordered polygons so that two windows holding the same layout context —
+// the common case on a placed standard-cell chip, where identical cells
+// repeat in identical neighbourhoods — serialize (and therefore hash) to
+// identical bytes regardless of where on the chip they sit and which
+// instances contributed which shape.
+
+// CanonicalWindow is one translation-normalized clipped window.
+type CanonicalWindow struct {
+	// Origin is the chip-space point mapped to (0,0); add it to canonical
+	// coordinates to return to chip space.
+	Origin geom.Point
+	// Bounds is the window in canonical coordinates: (0, 0, W, H).
+	Bounds geom.Rect
+	// Polys is the clipped layer geometry in canonical coordinates,
+	// canonically ordered (see geom.CanonicalPolygons).
+	Polys []geom.Polygon
+}
+
+// CanonicalWindowPolygons clips the layer inside w and normalizes the
+// result to the window origin. The returned window's polygon set is
+// independent of instance naming and traversal order.
+func (ch *Chip) CanonicalWindowPolygons(l Layer, w geom.Rect) CanonicalWindow {
+	origin := geom.Pt(w.X0, w.Y0)
+	var polys []geom.Polygon
+	for _, r := range ch.WindowShapes(l, w) {
+		polys = append(polys, r.Translate(geom.Pt(-origin.X, -origin.Y)).Polygon())
+	}
+	return CanonicalWindow{
+		Origin: origin,
+		Bounds: w.Translate(geom.Pt(-origin.X, -origin.Y)),
+		Polys:  geom.CanonicalPolygons(polys),
+	}
+}
+
+// CanonicalWindowRects is CanonicalWindowPolygons' rectangle counterpart for
+// scan passes that walk drawn rects (full-chip ORC): the clipped rects are
+// translated to the window origin and sorted into a canonical order.
+func (ch *Chip) CanonicalWindowRects(l Layer, w geom.Rect) (geom.Point, []geom.Rect) {
+	origin := geom.Pt(w.X0, w.Y0)
+	rects := ch.WindowShapes(l, w)
+	out := make([]geom.Rect, len(rects))
+	for i, r := range rects {
+		out[i] = r.Translate(geom.Pt(-origin.X, -origin.Y))
+	}
+	sortRectsCanonical(out)
+	return origin, out
+}
+
+// sortRectsCanonical orders rects by (X0, Y0, X1, Y1).
+func sortRectsCanonical(rs []geom.Rect) {
+	less := func(a, b geom.Rect) bool {
+		switch {
+		case a.X0 != b.X0:
+			return a.X0 < b.X0
+		case a.Y0 != b.Y0:
+			return a.Y0 < b.Y0
+		case a.X1 != b.X1:
+			return a.X1 < b.X1
+		}
+		return a.Y1 < b.Y1
+	}
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && less(rs[j], rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

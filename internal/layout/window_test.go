@@ -1,0 +1,69 @@
+package layout
+
+import (
+	"bytes"
+	"testing"
+
+	"postopc/internal/geom"
+)
+
+// buildRepeatedChip places the same cell in the same local neighbourhood at
+// two far-apart chip positions, so the two windows hold byte-identical
+// context after translation normalization.
+func buildRepeatedChip(t *testing.T) (*Chip, geom.Rect, geom.Rect) {
+	t.Helper()
+	c := invCell()
+	ch := &Chip{Name: "repeat"}
+	// Two copies of a two-cell context: target cell with an abutting
+	// neighbour to its right. Instance names differ on purpose — the
+	// canonical window must not depend on them.
+	ch.AddInstance("a0", c, geom.Pt(0, 0), R0)
+	ch.AddInstance("a1", c, geom.Pt(680, 0), R0)
+	ch.AddInstance("z9", c, geom.Pt(40800, 13000), R0)
+	ch.AddInstance("z8", c, geom.Pt(40800+680, 13000), R0)
+	ch.BuildIndex()
+	w := geom.R(-400, -400, 680+400, 2600+400)
+	w2 := w.Translate(geom.Pt(40800, 13000))
+	return ch, w, w2
+}
+
+func TestCanonicalWindowTranslationInvariance(t *testing.T) {
+	ch, w, w2 := buildRepeatedChip(t)
+	a := ch.CanonicalWindowPolygons(LayerPoly, w)
+	b := ch.CanonicalWindowPolygons(LayerPoly, w2)
+	if a.Bounds != b.Bounds {
+		t.Fatalf("canonical bounds differ: %v vs %v", a.Bounds, b.Bounds)
+	}
+	ka := geom.AppendKeyPolygons(nil, a.Polys)
+	kb := geom.AppendKeyPolygons(nil, b.Polys)
+	if !bytes.Equal(ka, kb) {
+		t.Fatalf("identical contexts at different chip positions serialized differently:\n%v\n%v", a.Polys, b.Polys)
+	}
+	if a.Origin == b.Origin {
+		t.Fatal("distinct windows reported the same origin")
+	}
+}
+
+func TestCanonicalWindowRects(t *testing.T) {
+	ch, w, w2 := buildRepeatedChip(t)
+	o1, r1 := ch.CanonicalWindowRects(LayerDiffusion, w)
+	o2, r2 := ch.CanonicalWindowRects(LayerDiffusion, w2)
+	if len(r1) == 0 || len(r1) != len(r2) {
+		t.Fatalf("rect counts differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("rect %d differs: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+	if o1.X+40800 != o2.X || o1.Y+13000 != o2.Y {
+		t.Fatalf("origins %v / %v do not differ by the placement offset", o1, o2)
+	}
+	// Canonical order is sorted, independent of instance-name order.
+	for i := 1; i < len(r1); i++ {
+		a, b := r1[i-1], r1[i]
+		if a.X0 > b.X0 || (a.X0 == b.X0 && a.Y0 > b.Y0) {
+			t.Fatalf("rects not in canonical order: %v before %v", a, b)
+		}
+	}
+}

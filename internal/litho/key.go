@@ -1,0 +1,46 @@
+package litho
+
+import "postopc/internal/geom"
+
+// Key serialization for the flow's content-addressed pattern cache: every
+// optical input that can change a simulated image must fold into the window
+// signature. The model identity tag matters — the same recipe produces
+// different images under *Abbe and *Gaussian — as do fitted kernel
+// parameters, which are not part of the recipe.
+
+// AppendKey appends the recipe's full optical and resist state.
+func (r Recipe) AppendKey(dst []byte) []byte {
+	dst = geom.AppendKeyFloat(dst,
+		r.WavelengthNM, r.NA, r.SigmaOuter, r.SigmaInner, r.Threshold)
+	return geom.AppendKeyInt(dst,
+		int64(r.SourceRings), int64(r.PixelNM), int64(r.GuardNM), int64(r.Polarity))
+}
+
+// AppendKey appends the process-corner excursion.
+func (c Corner) AppendKey(dst []byte) []byte {
+	return geom.AppendKeyFloat(dst, c.DefocusNM, c.Dose)
+}
+
+// AppendKeyCorners appends a count-prefixed corner list.
+func AppendKeyCorners(dst []byte, corners []Corner) []byte {
+	dst = geom.AppendKeyInt(dst, int64(len(corners)))
+	for _, c := range corners {
+		dst = c.AppendKey(dst)
+	}
+	return dst
+}
+
+// AppendKey identifies the Abbe model: its images are fully determined by
+// the recipe (the source grid is derived from it deterministically).
+func (a *Abbe) AppendKey(dst []byte) []byte {
+	dst = geom.AppendKeyString(dst, "abbe")
+	return a.recipe.AppendKey(dst)
+}
+
+// AppendKey identifies the Gaussian model including the fitted dual-kernel
+// parameters, which change the image but live outside the recipe.
+func (g *Gaussian) AppendKey(dst []byte) []byte {
+	dst = geom.AppendKeyString(dst, "gaussian")
+	dst = g.recipe.AppendKey(dst)
+	return geom.AppendKeyFloat(dst, g.sigma2NM, g.weight2)
+}

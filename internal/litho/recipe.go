@@ -128,4 +128,9 @@ type Model interface {
 	AerialSeries(mask *geom.Raster, corners []Corner) ([]*Image, error)
 	// Recipe returns the optical settings of the model.
 	Recipe() Recipe
+	// AppendKey appends a serialization of the model's identity and every
+	// parameter that can change its images — used by content-addressed
+	// caches to build window signatures. Two models whose keys are equal
+	// must produce bit-identical images for equal inputs.
+	AppendKey(dst []byte) []byte
 }

@@ -331,6 +331,66 @@ func Datapath(nChains, depth int, seed int64) *Netlist {
 	return b.n
 }
 
+// DatapathRegular builds the fully repeated-context flavour of Datapath:
+// every chain executes the shared stage multiset in the SAME (seed-chosen)
+// order with the same side-input wiring, so the placed rows are
+// geometrically identical bit slices. Where Datapath's per-chain shuffle
+// makes almost every neighbourhood unique, here nearly every gate window
+// recurs — the regime the pattern cache targets.
+func DatapathRegular(nChains, depth int, seed int64) *Netlist {
+	if nChains < 1 {
+		nChains = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	b := newBuilder(fmt.Sprintf("dpreg%dx%d_%d", nChains, depth, seed))
+	const nSide = 8
+	for i := 0; i < nSide; i++ {
+		b.n.Inputs = append(b.n.Inputs, fmt.Sprintf("s%d", i))
+	}
+	type stage struct {
+		cell string
+		side string // second input for 2-input cells, "" otherwise
+	}
+	menu := []struct {
+		cell string
+		two  bool
+	}{
+		{"INV_X1", false}, {"INV_X2", false}, {"BUF_X1", false},
+		{"NAND2_X1", true}, {"NOR2_X1", true}, {"NAND2_X2", true},
+	}
+	slice := make([]stage, depth)
+	for d := 0; d < depth; d++ {
+		m := menu[d%len(menu)]
+		s := stage{cell: m.cell}
+		if m.two {
+			s.side = fmt.Sprintf("s%d", rnd.Intn(nSide))
+		}
+		slice[d] = s
+	}
+	rnd.Shuffle(depth, func(i, j int) { slice[i], slice[j] = slice[j], slice[i] })
+	var outs []string
+	for c := 0; c < nChains; c++ {
+		in := fmt.Sprintf("in%d", c)
+		b.n.Inputs = append(b.n.Inputs, in)
+		cur := in
+		for _, st := range slice {
+			if st.side != "" {
+				cur = b.cell2(st.cell, cur, st.side)
+			} else {
+				y := b.net()
+				b.gate(st.cell, map[string]string{"A": cur, "Y": y})
+				cur = y
+			}
+		}
+		outs = append(outs, cur)
+	}
+	b.n.Outputs = outs
+	return b.n
+}
+
 func conn2Has(conn map[string]string, net string) bool {
 	for _, v := range conn {
 		if v == net {
