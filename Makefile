@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-smoke check
+.PHONY: build test vet lint race bench bench-smoke bench-kernel check
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ bench:
 # (the -short path runs a small repeated-context block only).
 bench-smoke:
 	$(GO) test -short -run=NONE -bench=Ablation_WindowCache -benchtime=1x .
+
+# Kernel-engine smoke: asserts the steady-state allocation budget of the
+# imaging hot path (TestKernelAllocBudget) and runs the kernel report bench
+# once (-short trims its sample count). Reference numbers: BENCH_kernel.json.
+bench-kernel:
+	$(GO) test -short -run=TestKernelAllocBudget -bench=KernelReport -benchtime=1x ./internal/litho/
 
 # The full pre-merge gate: compile everything, vet, run the domain lint
 # suite, run the tests, then run them again under the race detector (the

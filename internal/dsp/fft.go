@@ -1,13 +1,13 @@
 // Package dsp implements the signal-processing primitives needed by the
-// lithography simulator: an in-place radix-2 complex FFT (1-D and 2-D) and a
-// small complex grid type. Everything is stdlib-only.
+// lithography simulator: an in-place radix-2 complex FFT (1-D and 2-D) with
+// cached twiddle-factor and bit-reversal tables, a small complex grid type,
+// and pooled scratch buffers for the imaging hot path. Everything is
+// stdlib-only.
 package dsp
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
-	"math/cmplx"
 )
 
 // NextPow2 returns the smallest power of two >= n (and >= 1).
@@ -23,53 +23,23 @@ func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // FFT performs an in-place forward radix-2 FFT on x. len(x) must be a power
 // of two.
-func FFT(x []complex128) error { return fft(x, false) }
-
-// IFFT performs an in-place inverse FFT on x (including the 1/N scaling).
-// len(x) must be a power of two.
-func IFFT(x []complex128) error {
-	if err := fft(x, true); err != nil {
-		return err
-	}
-	n := complex(float64(len(x)), 0)
-	for i := range x {
-		x[i] /= n
-	}
-	return nil
-}
-
-func fft(x []complex128, inverse bool) error {
+func FFT(x []complex128) error {
 	n := len(x)
 	if !IsPow2(n) {
 		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
 	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
+	fftPlanned(x, planFor(n), false)
+	return nil
+}
+
+// IFFT performs an in-place inverse FFT on x (including the 1/N scaling).
+// len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
 	}
-	// Cooley–Tukey butterflies.
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		angle := 2 * math.Pi / float64(size)
-		if !inverse {
-			angle = -angle
-		}
-		wstep := cmplx.Exp(complex(0, angle))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wstep
-			}
-		}
-	}
+	fftLine(x, planFor(n), true)
 	return nil
 }
 
@@ -98,6 +68,14 @@ func (g *Grid) Clone() *Grid {
 	return out
 }
 
+// Clear zeroes every element in place.
+func (g *Grid) Clear() {
+	d := g.Data
+	for i := range d {
+		d[i] = 0
+	}
+}
+
 // FFT2D performs an in-place forward 2-D FFT over the grid. Both dimensions
 // must be powers of two.
 func (g *Grid) FFT2D() error { return g.fft2d(false) }
@@ -109,30 +87,76 @@ func (g *Grid) fft2d(inverse bool) error {
 	if !IsPow2(g.Nx) || !IsPow2(g.Ny) {
 		return fmt.Errorf("dsp: grid %dx%d not power-of-two", g.Nx, g.Ny)
 	}
-	do := FFT
-	if inverse {
-		do = IFFT
-	}
-	// Rows.
+	// Rows first, then columns — the order is load-bearing: floating-point
+	// rounding differs between the two factorizations, and determinism
+	// tests pin this one.
+	rowPlan := planFor(g.Nx)
 	for iy := 0; iy < g.Ny; iy++ {
-		if err := do(g.Data[iy*g.Nx : (iy+1)*g.Nx]); err != nil {
-			return err
-		}
+		fftLine(g.Data[iy*g.Nx:(iy+1)*g.Nx], rowPlan, inverse)
 	}
-	// Columns (gathered into a scratch buffer).
-	col := make([]complex128, g.Ny)
-	for ix := 0; ix < g.Nx; ix++ {
-		for iy := 0; iy < g.Ny; iy++ {
-			col[iy] = g.Data[iy*g.Nx+ix]
+	g.transformColumns(inverse)
+	return nil
+}
+
+// FFT2DBandSelect performs the forward 2-D transform computing only the
+// listed spectrum rows: the column pass runs in full, then the row pass
+// runs on those rows only. On the listed rows the result equals a full
+// separable transform; every other row is left partially transformed and
+// must not be read. Band-limited consumers (a pupil filter that reads a
+// handful of spectrum rows) use this to skip most of the row pass.
+//
+// Note the pass order (columns, then rows) is the transpose of FFT2D's;
+// the two factorizations agree mathematically but differ in floating-point
+// rounding, so a caller must not mix values from both paths and expect
+// byte equality.
+func (g *Grid) FFT2DBandSelect(rows []int) error {
+	if !IsPow2(g.Nx) || !IsPow2(g.Ny) {
+		return fmt.Errorf("dsp: grid %dx%d not power-of-two", g.Nx, g.Ny)
+	}
+	g.transformColumns(false)
+	rowPlan := planFor(g.Nx)
+	for _, iy := range rows {
+		if iy < 0 || iy >= g.Ny {
+			return fmt.Errorf("dsp: band-select row %d outside grid of %d rows", iy, g.Ny)
 		}
-		if err := do(col); err != nil {
-			return err
-		}
-		for iy := 0; iy < g.Ny; iy++ {
-			g.Data[iy*g.Nx+ix] = col[iy]
-		}
+		fftLine(g.Data[iy*g.Nx:(iy+1)*g.Nx], rowPlan, false)
 	}
 	return nil
+}
+
+// IFFT2DBandLimited performs the inverse 2-D transform of a spectrum whose
+// energy is confined to the listed rows: the row pass runs on those rows
+// only (the inverse FFT of an all-zero row is identically zero), the column
+// pass is full. For such spectra the result equals IFFT2D; rows outside the
+// list must be zero or the transform is wrong.
+func (g *Grid) IFFT2DBandLimited(rows []int) error {
+	if !IsPow2(g.Nx) || !IsPow2(g.Ny) {
+		return fmt.Errorf("dsp: grid %dx%d not power-of-two", g.Nx, g.Ny)
+	}
+	rowPlan := planFor(g.Nx)
+	for _, iy := range rows {
+		if iy < 0 || iy >= g.Ny {
+			return fmt.Errorf("dsp: band-limited row %d outside grid of %d rows", iy, g.Ny)
+		}
+		fftLine(g.Data[iy*g.Nx:(iy+1)*g.Nx], rowPlan, true)
+	}
+	g.transformColumns(true)
+	return nil
+}
+
+// transformColumns transforms every column in place through the blocked
+// butterfly path — no per-column gather/scatter copy. The inverse 1/Ny
+// scaling is applied grid-wide, which divides each element exactly once,
+// the same operation the per-column scaling performed.
+func (g *Grid) transformColumns(inverse bool) {
+	fftColumnsBlocked(g.Data, g.Nx, planFor(g.Ny), inverse)
+	if inverse {
+		nC := complex(float64(g.Ny), 0)
+		d := g.Data
+		for i := range d {
+			d[i] /= nC
+		}
+	}
 }
 
 // FreqIndex maps grid index i (0..n-1) to the signed frequency bin

@@ -1,0 +1,40 @@
+package dsp
+
+import "sync"
+
+// Grid pooling for the imaging hot path: a window simulation needs two
+// full-size complex grids (transmission/spectrum and per-source-point work
+// field) per call, and steady-state full-chip runs simulate thousands of
+// equally-sized windows. Borrow/Return recycles the backing arrays so those
+// calls allocate nothing after warm-up.
+//
+// The pool is safe for concurrent use (extraction and ORC workers share
+// it). A borrowed grid's contents are unspecified — callers must overwrite
+// or Clear before reading, which also keeps results independent of pool
+// history.
+
+var gridPool sync.Pool
+
+// BorrowGrid returns an Nx × Ny grid from the pool, allocating only when no
+// pooled grid is large enough. Contents are unspecified.
+func BorrowGrid(nx, ny int) *Grid {
+	g, _ := gridPool.Get().(*Grid)
+	if g == nil {
+		return NewGrid(nx, ny)
+	}
+	n := nx * ny
+	if cap(g.Data) < n {
+		g.Data = make([]complex128, n)
+	}
+	g.Nx, g.Ny = nx, ny
+	g.Data = g.Data[:n]
+	return g
+}
+
+// ReturnGrid puts g back into the pool. The caller must not use g (or
+// slices of its Data) afterwards.
+func ReturnGrid(g *Grid) {
+	if g != nil {
+		gridPool.Put(g)
+	}
+}

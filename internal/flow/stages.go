@@ -152,11 +152,15 @@ func stageOPC(env *stageEnv, drawn []geom.Polygon, interior geom.Rect, measureEP
 }
 
 // stageImage rasterizes the mask over the canonical window and images it
-// through the requested corners with the verification model.
+// through the requested corners with the verification model. The raster is
+// pooled scratch: models never retain it past AerialSeries, so it is handed
+// back for the next window regardless of the call's outcome.
 func stageImage(env *stageEnv, mask []geom.Polygon, bounds geom.Rect, corners []litho.Corner) ([]*litho.Image, error) {
 	recipe := env.Verify.Recipe()
 	raster := litho.RasterizeInWindow(mask, bounds, recipe.PixelNM)
-	return env.Verify.AerialSeries(raster, corners)
+	imgs, err := env.Verify.AerialSeries(raster, corners)
+	litho.RecycleRaster(raster)
+	return imgs, err
 }
 
 // stageProfile extracts each gate site's printed CD profile from the corner

@@ -20,6 +20,16 @@ type Raster struct {
 // pitch. The grid is sized to cover w completely (the last row/column may
 // extend past w).
 func NewRaster(w Rect, pixel Coord) *Raster {
+	ra := new(Raster)
+	ra.Reset(w, pixel)
+	return ra
+}
+
+// Reset reconfigures ra to a zeroed raster covering window w at the given
+// pixel pitch, reusing the existing Data allocation when its capacity
+// allows. The result is indistinguishable from a fresh NewRaster, which
+// makes Raster values poolable.
+func (ra *Raster) Reset(w Rect, pixel Coord) {
 	if pixel <= 0 {
 		panic("geom: raster pixel pitch must be positive")
 	}
@@ -31,12 +41,17 @@ func NewRaster(w Rect, pixel Coord) *Raster {
 	if ny < 1 {
 		ny = 1
 	}
-	return &Raster{
-		Origin: Point{w.X0, w.Y0},
-		Pixel:  pixel,
-		Nx:     nx,
-		Ny:     ny,
-		Data:   make([]float64, nx*ny),
+	ra.Origin = Point{w.X0, w.Y0}
+	ra.Pixel = pixel
+	ra.Nx = nx
+	ra.Ny = ny
+	if cap(ra.Data) < nx*ny {
+		ra.Data = make([]float64, nx*ny)
+		return
+	}
+	ra.Data = ra.Data[:nx*ny]
+	for i := range ra.Data {
+		ra.Data[i] = 0
 	}
 }
 

@@ -2,8 +2,7 @@ package litho
 
 import (
 	"fmt"
-	"math"
-	"math/cmplx"
+	"sync"
 
 	"postopc/internal/dsp"
 	"postopc/internal/geom"
@@ -14,9 +13,19 @@ import (
 // source point the mask spectrum is filtered by the (defocused) pupil
 // shifted by the source tilt, inverse transformed, and the resulting
 // coherent intensities are weight-summed.
+//
+// The per-source-point pupil filters depend only on the recipe, grid
+// geometry and defocus — never on the mask — so they are precomputed once
+// per (grid size, pixel, defocus) in a lazily built, mutex-guarded filter
+// bank (see filterbank.go) and the hot loop reduces to a branch-free
+// complex multiply over the filter's support rows, a band-limited inverse
+// transform, and an intensity accumulation.
 type Abbe struct {
 	recipe Recipe
 	source []SourcePoint
+
+	mu   sync.RWMutex
+	bank map[filterKey]*filterSet
 }
 
 // NewAbbe builds an Abbe model from the recipe.
@@ -27,6 +36,7 @@ func NewAbbe(r Recipe) (*Abbe, error) {
 	return &Abbe{
 		recipe: r,
 		source: SampleSource(r.SigmaInner, r.SigmaOuter, r.SourceRings),
+		bank:   make(map[filterKey]*filterSet),
 	}, nil
 }
 
@@ -36,31 +46,41 @@ func (a *Abbe) Recipe() Recipe { return a.recipe }
 // SourcePoints exposes the sampled source (for ablation studies).
 func (a *Abbe) SourcePoints() []SourcePoint { return a.source }
 
-// Aerial implements Model.
+// Aerial implements Model. The single-corner path skips the series
+// bookkeeping: in steady state (warm filter bank and scratch pools) it
+// allocates only the returned Image.
 func (a *Abbe) Aerial(mask *geom.Raster, c Corner) (*Image, error) {
-	imgs, err := a.AerialSeries(mask, []Corner{c})
-	if err != nil {
-		return nil, err
-	}
-	return imgs[0], nil
-}
-
-// AerialSeries computes aerial images for several process corners while
-// reusing the (expensive) mask spectrum. Dose does not change the image —
-// it is folded into the resist threshold — so corners differing only in
-// dose share one simulation.
-func (a *Abbe) AerialSeries(mask *geom.Raster, corners []Corner) ([]*Image, error) {
 	if mask.Nx == 0 || mask.Ny == 0 {
 		return nil, fmt.Errorf("litho: empty mask raster")
 	}
 	nx := dsp.NextPow2(mask.Nx)
 	ny := dsp.NextPow2(mask.Ny)
-	// Transmission grid, padded with clear-field background.
-	bg := 1.0 // ClearField: open background
-	if a.recipe.Polarity == DarkField {
-		bg = 0
+	fs := a.filtersFor(nx, ny, float64(mask.Pixel), c.DefocusNM)
+	bg := a.backgroundLevel()
+	t := a.transmissionGrid(mask, nx, ny, bg)
+	defer dsp.ReturnGrid(t)
+	if err := t.FFT2DBandSelect(fs.unionRows); err != nil {
+		return nil, err
 	}
-	t := dsp.NewGrid(nx, ny)
+	ks := borrowKernelScratch()
+	defer ks.release()
+	return a.aerialFiltered(t, mask, fs, bg, ks)
+}
+
+// backgroundLevel is the transmission of the unpatterned field for the
+// recipe's polarity.
+func (a *Abbe) backgroundLevel() float64 {
+	if a.recipe.Polarity == DarkField {
+		return 0
+	}
+	return 1
+}
+
+// transmissionGrid builds the complex transmission over a borrowed
+// power-of-two grid, padding outside the mask with the background level.
+// The caller owns the grid and must return it to the pool.
+func (a *Abbe) transmissionGrid(mask *geom.Raster, nx, ny int, bg float64) *dsp.Grid {
+	t := dsp.BorrowGrid(nx, ny)
 	for i := range t.Data {
 		t.Data[i] = complex(bg, 0)
 	}
@@ -76,70 +96,109 @@ func (a *Abbe) AerialSeries(mask *geom.Raster, corners []Corner) ([]*Image, erro
 			t.Set(ix, iy, complex(tv, 0))
 		}
 	}
-	if err := t.FFT2D(); err != nil {
-		return nil, err
-	}
+	return t
+}
 
-	// Unique defocus values across the corners.
-	type defocusKey struct{ z float64 }
-	uniq := map[defocusKey]*Image{}
-	order := make([]*Image, len(corners))
-	for ci, c := range corners {
-		k := defocusKey{c.DefocusNM}
-		if im, ok := uniq[k]; ok {
-			order[ci] = im
-			continue
-		}
-		im, err := a.aerialAtDefocus(t, mask, c.DefocusNM)
+// AerialSeries computes aerial images for several process corners while
+// reusing the (expensive) mask spectrum. Dose does not change the image —
+// it is folded into the resist threshold — so corners that share a defocus
+// alias one *Image in the returned slice. Callers must treat the returned
+// images as immutable: mutating one mutates it for every corner that
+// shares it.
+func (a *Abbe) AerialSeries(mask *geom.Raster, corners []Corner) ([]*Image, error) {
+	if mask.Nx == 0 || mask.Ny == 0 {
+		return nil, fmt.Errorf("litho: empty mask raster")
+	}
+	if len(corners) == 1 {
+		im, err := a.Aerial(mask, corners[0])
 		if err != nil {
 			return nil, err
 		}
-		uniq[k] = im
+		return []*Image{im}, nil
+	}
+	nx := dsp.NextPow2(mask.Nx)
+	ny := dsp.NextPow2(mask.Ny)
+	px := float64(mask.Pixel)
+
+	// Filter sets for every unique defocus, fetched up front so the
+	// forward transform knows which spectrum rows the filters will read.
+	var spectrumRows []int
+	sets := make([]*filterSet, len(corners))
+	for ci, c := range corners {
+		dup := false
+		for _, p := range corners[:ci] {
+			if p.DefocusNM == c.DefocusNM {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		sets[ci] = a.filtersFor(nx, ny, px, c.DefocusNM)
+		spectrumRows = mergeRows(spectrumRows, sets[ci].unionRows)
+	}
+
+	// Transmission grid, padded with the polarity's background level.
+	bg := a.backgroundLevel()
+	t := a.transmissionGrid(mask, nx, ny, bg)
+	defer dsp.ReturnGrid(t)
+	// The filters only read the union support rows of the spectrum, so the
+	// forward transform computes just those.
+	if err := t.FFT2DBandSelect(spectrumRows); err != nil {
+		return nil, err
+	}
+
+	ks := borrowKernelScratch()
+	defer ks.release()
+	order := make([]*Image, len(corners))
+	for ci, c := range corners {
+		if sets[ci] == nil { // duplicate defocus: alias the earlier image
+			for cj, p := range corners[:ci] {
+				if p.DefocusNM == c.DefocusNM {
+					order[ci] = order[cj]
+					break
+				}
+			}
+			continue
+		}
+		im, err := a.aerialFiltered(t, mask, sets[ci], bg, ks)
+		if err != nil {
+			return nil, err
+		}
 		order[ci] = im
 	}
 	return order, nil
 }
 
-// aerialAtDefocus runs the source-point sum for one defocus value. spectrum
-// is the FFT of the transmission grid and must not be modified.
-func (a *Abbe) aerialAtDefocus(spectrum *dsp.Grid, mask *geom.Raster, defocusNM float64) (*Image, error) {
-	r := a.recipe
+// aerialFiltered runs the folded source-point sum for one filter set.
+// spectrum is the band-selected FFT of the transmission grid and must not
+// be modified.
+func (a *Abbe) aerialFiltered(spectrum *dsp.Grid, mask *geom.Raster, fs *filterSet, bg float64, ks *kernelScratch) (*Image, error) {
 	nx, ny := spectrum.Nx, spectrum.Ny
-	px := float64(mask.Pixel)
-	fmax := r.NA / r.WavelengthNM   // pupil cutoff, cycles/nm
-	dfx := 1.0 / (float64(nx) * px) // frequency steps, cycles/nm
-	dfy := 1.0 / (float64(ny) * px)
-	lambda := r.WavelengthNM
-
-	acc := make([]float64, nx*ny)
-	work := dsp.NewGrid(nx, ny)
-	for _, sp := range a.source {
-		fsx := sp.SX * fmax
-		fsy := sp.SY * fmax
-		// work = spectrum × P(f + fs)
-		for iy := 0; iy < ny; iy++ {
-			fy := float64(dsp.FreqIndex(iy, ny))*dfy + fsy
-			for ix := 0; ix < nx; ix++ {
-				fx := float64(dsp.FreqIndex(ix, nx))*dfx + fsx
-				f2 := fx*fx + fy*fy
-				idx := iy*nx + ix
-				if f2 > fmax*fmax {
-					work.Data[idx] = 0
-					continue
-				}
-				v := spectrum.Data[idx]
-				if defocusNM != 0 {
-					// Paraxial defocus aberration: φ = π λ z |f|².
-					ph := math.Pi * lambda * defocusNM * f2
-					v *= cmplx.Exp(complex(0, ph))
-				}
-				work.Data[idx] = v
+	ks.acc = growFloats(ks.acc, nx*ny)
+	acc := ks.acc
+	for i := range acc {
+		acc[i] = 0
+	}
+	work := dsp.BorrowGrid(nx, ny)
+	defer dsp.ReturnGrid(work)
+	for pi := range fs.points {
+		pf := &fs.points[pi]
+		// work = spectrum × P(f + fs), nonzero only on the support rows.
+		work.Clear()
+		for ri, iy := range pf.rows {
+			vrow := pf.vals[ri*nx : ri*nx+nx]
+			srow := spectrum.Data[iy*nx : iy*nx+nx]
+			wrow := work.Data[iy*nx : iy*nx+nx]
+			for ix := range wrow {
+				wrow[ix] = srow[ix] * vrow[ix]
 			}
 		}
-		if err := work.IFFT2D(); err != nil {
+		if err := work.IFFT2DBandLimited(pf.rows); err != nil {
 			return nil, err
 		}
-		w := sp.Weight
+		w := pf.weight
 		for i, e := range work.Data {
 			re, im := real(e), imag(e)
 			acc[i] += w * (re*re + im*im)
@@ -147,6 +206,7 @@ func (a *Abbe) aerialAtDefocus(spectrum *dsp.Grid, mask *geom.Raster, defocusNM 
 	}
 
 	out := NewImage(mask)
+	out.Background = bg
 	for iy := 0; iy < mask.Ny; iy++ {
 		copy(out.Data[iy*mask.Nx:(iy+1)*mask.Nx], acc[iy*nx:iy*nx+mask.Nx])
 	}

@@ -1,0 +1,223 @@
+package litho
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"postopc/internal/dsp"
+)
+
+// The pupil-filter bank: the Abbe hot loop multiplies the mask spectrum by
+// P(f + fs)·exp(iπλz|f|²) for every source point, and that filter depends
+// only on the recipe, the grid geometry and the defocus — never on the
+// mask. Each filter grid is therefore built once per (grid size, pixel,
+// defocus) and reused for every window the model images, turning the
+// per-source-point inner loop into a branch-free complex multiply over
+// precomputed tables.
+//
+// Filters are stored band-limited: only the spectrum rows that intersect
+// the shifted pupil are kept (the pupil cutoff NA/λ spans a handful of
+// frequency bins at production pixel pitches), so both the filter apply and
+// the inverse transform prune to those rows.
+//
+// At zero defocus the bank additionally folds the source sum in half: the
+// mask transmission is real, its spectrum Hermitian, and the pupil
+// indicator is even, so a source point at -σ produces the conjugate field
+// of the point at +σ — the identical intensity. Mirrored pairs are merged
+// into one filter carrying both weights. Defocus breaks the symmetry (the
+// aberration phase does not conjugate), so defocused filter sets keep every
+// point.
+
+// filterKey identifies one filter set: the simulation grid geometry plus
+// the defocus. The recipe and source are fixed per Abbe instance.
+type filterKey struct {
+	nx, ny    int
+	pixelNM   float64
+	defocusNM float64
+}
+
+// pointFilter is the precomputed filter of one (possibly folded) source
+// point: the effective weight and the filter values over the support rows.
+type pointFilter struct {
+	// weight is the source-point weight, doubled (summed) when a mirrored
+	// partner was folded into this filter.
+	weight float64
+	// rows lists the spectrum rows (iy indices, ascending) intersecting the
+	// shifted pupil.
+	rows []int
+	// vals holds len(rows)*nx filter values, row-major; zero outside the
+	// pupil so the apply loop is branch-free.
+	vals []complex128
+}
+
+// filterSet is the bank entry for one filterKey.
+type filterSet struct {
+	points []pointFilter
+	// unionRows is the ascending union of all points' support rows — the
+	// only spectrum rows any filter of this set reads.
+	unionRows []int
+}
+
+// maxFilterSets bounds the bank. A flow images windows at one or two grid
+// sizes and a handful of defocus values, so the bank normally holds a few
+// entries; the reset guards against a pathological caller cycling window
+// sizes.
+const maxFilterSets = 16
+
+// filtersFor returns the filter set for the key, building it on first use.
+// The bank is guarded for concurrent extraction/ORC workers sharing one
+// model; the build is deterministic, so whichever worker builds it stores
+// the same tables.
+func (a *Abbe) filtersFor(nx, ny int, px, defocusNM float64) *filterSet {
+	key := filterKey{nx: nx, ny: ny, pixelNM: px, defocusNM: defocusNM}
+	a.mu.RLock()
+	fs, ok := a.bank[key]
+	a.mu.RUnlock()
+	if ok {
+		return fs
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if fs, ok := a.bank[key]; ok {
+		return fs
+	}
+	fs = buildFilterSet(a.recipe, a.source, nx, ny, px, defocusNM)
+	if len(a.bank) >= maxFilterSets {
+		a.bank = make(map[filterKey]*filterSet, maxFilterSets)
+	}
+	a.bank[key] = fs
+	return fs
+}
+
+// foldedPoint selects a source point and its effective weight after
+// mirror-pair folding.
+type foldedPoint struct {
+	idx    int
+	weight float64
+}
+
+// foldSource pairs each source point with its mirror (-σx, -σy) and merges
+// the pair's weight onto one representative. The sampled source is 4-fold
+// symmetric by construction, so in practice everything pairs; any point
+// without an exact-enough mirror keeps its own weight unpaired.
+func foldSource(source []SourcePoint) []foldedPoint {
+	const tol = 1e-9
+	used := make([]bool, len(source))
+	out := make([]foldedPoint, 0, (len(source)+1)/2)
+	for i, p := range source {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		fp := foldedPoint{idx: i, weight: p.Weight}
+		for j := i + 1; j < len(source); j++ {
+			if used[j] {
+				continue
+			}
+			q := source[j]
+			if math.Abs(p.SX+q.SX) < tol && math.Abs(p.SY+q.SY) < tol {
+				fp.weight += q.Weight
+				used[j] = true
+				break
+			}
+		}
+		out = append(out, fp)
+	}
+	return out
+}
+
+// buildFilterSet computes the filter tables for one key. The per-bin
+// formulas mirror the original inner loop expression-for-expression so the
+// precomputed values are the ones the loop used to compute in place.
+func buildFilterSet(r Recipe, source []SourcePoint, nx, ny int, px, defocusNM float64) *filterSet {
+	fmax := r.NA / r.WavelengthNM   // pupil cutoff, cycles/nm
+	dfx := 1.0 / (float64(nx) * px) // frequency steps, cycles/nm
+	dfy := 1.0 / (float64(ny) * px)
+	lambda := r.WavelengthNM
+
+	// Mirror folding is valid only at zero defocus and only while the
+	// shifted pupil stays strictly inside the representable frequency range
+	// (no wrap through the asymmetric -n/2 Nyquist bin).
+	maxf := fmax * (1 + r.SigmaOuter)
+	foldable := defocusNM == 0 &&
+		maxf < (float64(nx)/2-1)*dfx && maxf < (float64(ny)/2-1)*dfy
+	var picks []foldedPoint
+	if foldable {
+		picks = foldSource(source)
+	} else {
+		picks = make([]foldedPoint, len(source))
+		for i, sp := range source {
+			picks[i] = foldedPoint{idx: i, weight: sp.Weight}
+		}
+	}
+
+	fs := &filterSet{points: make([]pointFilter, 0, len(picks))}
+	inUnion := make([]bool, ny)
+	row := make([]complex128, nx)
+	for _, pk := range picks {
+		sp := source[pk.idx]
+		fsx := sp.SX * fmax
+		fsy := sp.SY * fmax
+		pf := pointFilter{weight: pk.weight}
+		for iy := 0; iy < ny; iy++ {
+			fy := float64(dsp.FreqIndex(iy, ny))*dfy + fsy
+			any := false
+			for ix := 0; ix < nx; ix++ {
+				fx := float64(dsp.FreqIndex(ix, nx))*dfx + fsx
+				f2 := fx*fx + fy*fy
+				if f2 > fmax*fmax {
+					row[ix] = 0
+					continue
+				}
+				v := complex(1, 0)
+				if defocusNM != 0 {
+					// Paraxial defocus aberration: φ = π λ z |f|².
+					ph := math.Pi * lambda * defocusNM * f2
+					v = cmplx.Exp(complex(0, ph))
+				}
+				row[ix] = v
+				any = true
+			}
+			if any {
+				pf.rows = append(pf.rows, iy)
+				pf.vals = append(pf.vals, row...)
+				if !inUnion[iy] {
+					inUnion[iy] = true
+					fs.unionRows = append(fs.unionRows, iy)
+				}
+			}
+		}
+		fs.points = append(fs.points, pf)
+	}
+	sort.Ints(fs.unionRows)
+	return fs
+}
+
+// mergeRows returns the ascending union of two ascending row lists. When a
+// is empty it returns b itself (not a copy) — callers treat the result as
+// read-only.
+func mergeRows(a, b []int) []int {
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -71,6 +71,12 @@ func (g *Gaussian) SigmaAt(defocusNM float64) float64 {
 
 // Aerial implements Model.
 func (g *Gaussian) Aerial(mask *geom.Raster, c Corner) (*Image, error) {
+	ks := borrowKernelScratch()
+	defer ks.release()
+	return g.aerial(mask, c, ks)
+}
+
+func (g *Gaussian) aerial(mask *geom.Raster, c Corner, ks *kernelScratch) (*Image, error) {
 	r := g.recipe
 	px := float64(mask.Pixel)
 	bg := 1.0
@@ -79,7 +85,8 @@ func (g *Gaussian) Aerial(mask *geom.Raster, c Corner) (*Image, error) {
 	}
 	nx, ny := mask.Nx, mask.Ny
 	// Transmission amplitude.
-	amp := make([]float64, nx*ny)
+	ks.amp = growFloats(ks.amp, nx*ny)
+	amp := ks.amp
 	for i, cov := range mask.Data {
 		if r.Polarity == ClearField {
 			amp[i] = 1 - cov
@@ -90,32 +97,41 @@ func (g *Gaussian) Aerial(mask *geom.Raster, c Corner) (*Image, error) {
 	// Defocus broadens both kernel components in quadrature.
 	blur := 0.30 * math.Abs(c.DefocusNM) * r.NA
 	s1 := math.Sqrt(sq(g.SigmaAt(0)) + blur*blur)
-	field := convolveGaussian(amp, nx, ny, bg, s1, px)
+	ks.field = growFloats(ks.field, nx*ny)
+	field := ks.field
+	convolveGaussianInto(field, amp, nx, ny, bg, s1, px, ks)
 	if g.weight2 != 0 {
 		s2 := math.Sqrt(sq(g.sigma2NM) + blur*blur)
-		wide := convolveGaussian(amp, nx, ny, bg, s2, px)
+		// The broad component reuses one pooled buffer instead of
+		// allocating a second field per call.
+		ks.wide = growFloats(ks.wide, nx*ny)
+		wide := ks.wide
+		convolveGaussianInto(wide, amp, nx, ny, bg, s2, px, ks)
 		w := g.weight2
 		for i := range field {
 			field[i] = (1-w)*field[i] + w*wide[i]
 		}
 	}
 	out := NewImage(mask)
+	out.Background = bg
 	for i, v := range field {
 		out.Data[i] = v * v // intensity = amplitude²
 	}
 	return out, nil
 }
 
-// convolveGaussian blurs amp (nx×ny, row-major) with an isotropic Gaussian
-// of the given sigma, extending edges with the background level. The kernel
-// is truncated at 3σ and normalized to unit sum so a uniform field is
-// preserved exactly.
-func convolveGaussian(amp []float64, nx, ny int, bg, sigma, px float64) []float64 {
+// convolveGaussianInto blurs amp (nx×ny, row-major) into dst with an
+// isotropic Gaussian of the given sigma, extending edges with the background
+// level. The kernel is truncated at 3σ and normalized to unit sum so a
+// uniform field is preserved exactly. dst must have nx*ny elements; its
+// prior contents are ignored. Row scratch comes from ks.
+func convolveGaussianInto(dst, amp []float64, nx, ny int, bg, sigma, px float64, ks *kernelScratch) {
 	half := int(math.Ceil(3 * sigma / px))
 	if half < 1 {
 		half = 1
 	}
-	kern := make([]float64, 2*half+1)
+	ks.kern = growFloats(ks.kern, 2*half+1)
+	kern := ks.kern
 	var ksum float64
 	for i := -half; i <= half; i++ {
 		v := math.Exp(-0.5 * sq(float64(i)*px/sigma))
@@ -126,63 +142,76 @@ func convolveGaussian(amp []float64, nx, ny int, bg, sigma, px float64) []float6
 		kern[i] /= ksum
 	}
 	// Horizontal pass over a background-padded row buffer (branch-free
-	// inner loop).
-	tmp := make([]float64, nx*ny)
-	pad := make([]float64, nx+2*half)
+	// inner loop). The pad's end fills are constant across rows, so they
+	// are written once, outside the row loop.
+	ks.tmp = growFloats(ks.tmp, nx*ny)
+	tmp := ks.tmp
+	ks.pad = growFloats(ks.pad, nx+2*half)
+	pad := ks.pad
+	for i := 0; i < half; i++ {
+		pad[i] = bg
+		pad[nx+half+i] = bg
+	}
 	for iy := 0; iy < ny; iy++ {
-		for i := 0; i < half; i++ {
-			pad[i] = bg
-			pad[nx+half+i] = bg
-		}
 		copy(pad[half:half+nx], amp[iy*nx:(iy+1)*nx])
-		dst := tmp[iy*nx : (iy+1)*nx]
+		row := tmp[iy*nx : (iy+1)*nx]
 		for ix := 0; ix < nx; ix++ {
 			var s float64
 			win := pad[ix : ix+2*half+1]
 			for j, k := range kern {
 				s += win[j] * k
 			}
-			dst[ix] = s
+			row[ix] = s
 		}
 	}
 	// Vertical pass, accumulated row-wise for sequential memory access.
-	out := make([]float64, nx*ny)
+	// dst is an accumulator here, so it is zeroed first.
+	for i := range dst {
+		dst[i] = 0
+	}
 	for k := -half; k <= half; k++ {
 		w := kern[k+half]
 		for iy := 0; iy < ny; iy++ {
-			dst := out[iy*nx : (iy+1)*nx]
+			row := dst[iy*nx : (iy+1)*nx]
 			j := iy + k
 			if j < 0 || j >= ny {
 				add := bg * w
-				for ix := range dst {
-					dst[ix] += add
+				for ix := range row {
+					row[ix] += add
 				}
 				continue
 			}
 			src := tmp[j*nx : (j+1)*nx]
-			for ix := range dst {
-				dst[ix] += src[ix] * w
+			for ix := range row {
+				row[ix] += src[ix] * w
 			}
 		}
 	}
-	return out
 }
 
 // AerialSeries implements Model, sharing simulations between corners that
-// differ only in dose.
+// differ only in dose: corners sharing a defocus alias one *Image in the
+// returned slice, so callers must not mutate the returned images.
 func (g *Gaussian) AerialSeries(mask *geom.Raster, corners []Corner) ([]*Image, error) {
-	uniq := map[float64]*Image{}
+	ks := borrowKernelScratch()
+	defer ks.release()
 	out := make([]*Image, len(corners))
 	for ci, c := range corners {
-		if im, ok := uniq[c.DefocusNM]; ok {
-			out[ci] = im
+		dup := false
+		for cj, p := range corners[:ci] {
+			if p.DefocusNM == c.DefocusNM {
+				out[ci] = out[cj]
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		im, err := g.Aerial(mask, c)
+		im, err := g.aerial(mask, c, ks)
 		if err != nil {
 			return nil, err
 		}
-		uniq[c.DefocusNM] = im
 		out[ci] = im
 	}
 	return out, nil

@@ -18,25 +18,33 @@ type Image struct {
 	Nx, Ny int
 	// Data holds Nx*Ny intensities, row-major.
 	Data []float64
+	// Background is the intensity reads outside the window return: the
+	// unpatterned-field level of the mask polarity — 1.0 for a clear-field
+	// mask (open background), 0.0 for dark-field (opaque background). Set
+	// by the model that produced the image.
+	Background float64
 }
 
 // NewImage allocates a zeroed image aligned with the given mask raster.
+// Background defaults to the clear-field level 1.0; models producing
+// dark-field images overwrite it.
 func NewImage(mask *geom.Raster) *Image {
 	return &Image{
-		Origin: mask.Origin,
-		Pixel:  mask.Pixel,
-		Nx:     mask.Nx,
-		Ny:     mask.Ny,
-		Data:   make([]float64, mask.Nx*mask.Ny),
+		Origin:     mask.Origin,
+		Pixel:      mask.Pixel,
+		Nx:         mask.Nx,
+		Ny:         mask.Ny,
+		Data:       make([]float64, mask.Nx*mask.Ny),
+		Background: 1,
 	}
 }
 
 // At returns the intensity of pixel (ix, iy); out-of-range reads return the
-// clear-field level 1.0 so that scans off the window edge behave as open
-// field.
+// Background level so that scans off the window edge behave as unpatterned
+// field for the mask's polarity.
 func (im *Image) At(ix, iy int) float64 {
 	if ix < 0 || iy < 0 || ix >= im.Nx || iy >= im.Ny {
-		return 1
+		return im.Background
 	}
 	return im.Data[iy*im.Nx+ix]
 }

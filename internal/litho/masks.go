@@ -65,9 +65,11 @@ func RasterizeRects(rects []geom.Rect, pixel, guard geom.Coord) *geom.Raster {
 
 // RasterizeInWindow builds a mask raster over exactly the given window (no
 // extra guard — the caller's window already includes it), at the given
-// pixel pitch.
+// pixel pitch. The raster comes from an internal pool: callers that are done
+// with it (and hold no aliases of its Data) should hand it back with
+// RecycleRaster so full-chip window loops rasterize without allocating.
 func RasterizeInWindow(polys []geom.Polygon, window geom.Rect, pixel geom.Coord) *geom.Raster {
-	ra := geom.NewRaster(window, pixel)
+	ra := borrowRaster(window, pixel)
 	for _, pg := range polys {
 		ra.AddPolygon(pg)
 	}

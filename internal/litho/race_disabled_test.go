@@ -1,0 +1,5 @@
+//go:build !race
+
+package litho
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package litho
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates on its own, so allocation-budget assertions
+// skip under -race.
+const raceEnabled = true

@@ -123,8 +123,11 @@ type Model interface {
 	// drawn/chrome feature).
 	Aerial(mask *geom.Raster, c Corner) (*Image, error)
 	// AerialSeries computes images for several corners, sharing work where
-	// the model permits (dose never changes the image; equal-defocus
-	// corners share one simulation).
+	// the model permits: dose never changes the image, so corners that
+	// share a defocus alias ONE *Image in the returned slice (the same
+	// pointer appears at every such index). Callers must treat the
+	// returned images as immutable — mutating one mutates it for every
+	// corner that shares it.
 	AerialSeries(mask *geom.Raster, corners []Corner) ([]*Image, error)
 	// Recipe returns the optical settings of the model.
 	Recipe() Recipe

@@ -1,0 +1,72 @@
+package litho
+
+import (
+	"sync"
+
+	"postopc/internal/geom"
+)
+
+// Scratch pooling for the imaging kernels. A single window simulation
+// needs several full-size float work buffers (intensity accumulator,
+// transmission amplitude, convolution fields and pad rows); full-chip runs
+// simulate thousands of equally-sized windows from concurrent workers, so
+// the buffers are recycled through sync.Pools and steady-state simulation
+// allocates only the returned *Image.
+//
+// Lifetime rules: a kernelScratch (and every slice grown from it) is owned
+// by exactly one Aerial/AerialSeries call between borrow and release, and
+// nothing borrowed may escape into a returned value — returned Images
+// always own freshly allocated Data. Borrowed buffers come back with
+// unspecified contents; every consumer fully overwrites or zeroes before
+// reading, which also keeps results independent of pool history.
+
+// kernelScratch carries the per-call work buffers of both kernels.
+type kernelScratch struct {
+	acc   []float64 // Abbe: weighted intensity accumulator (padded grid)
+	amp   []float64 // Gaussian: transmission amplitude
+	field []float64 // Gaussian: convolved amplitude field
+	wide  []float64 // Gaussian: secondary (broad) kernel field
+	tmp   []float64 // Gaussian: horizontal-pass intermediate
+	pad   []float64 // Gaussian: background-padded row
+	kern  []float64 // Gaussian: normalized 1-D kernel taps
+}
+
+var kernelScratchPool = sync.Pool{New: func() interface{} { return new(kernelScratch) }}
+
+func borrowKernelScratch() *kernelScratch {
+	return kernelScratchPool.Get().(*kernelScratch)
+}
+
+func (s *kernelScratch) release() { kernelScratchPool.Put(s) }
+
+// growFloats returns a slice of length n, reusing s when its capacity
+// allows. Contents are unspecified.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// rasterPool recycles mask rasters for the window pipeline: the raster is
+// scratch — models read it during Aerial and never retain it — so staged
+// callers hand it back with RecycleRaster once imaging is done.
+var rasterPool sync.Pool
+
+func borrowRaster(window geom.Rect, pixel geom.Coord) *geom.Raster {
+	ra, _ := rasterPool.Get().(*geom.Raster)
+	if ra == nil {
+		ra = new(geom.Raster)
+	}
+	ra.Reset(window, pixel)
+	return ra
+}
+
+// RecycleRaster returns a raster obtained from RasterizeInWindow to the
+// internal pool. The caller must not use ra (or aliases of its Data)
+// afterwards. Safe to call with nil.
+func RecycleRaster(ra *geom.Raster) {
+	if ra != nil {
+		rasterPool.Put(ra)
+	}
+}
