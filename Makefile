@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-smoke bench-kernel check
+.PHONY: build test vet lint race bench bench-smoke bench-kernel bench-obs check
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,12 @@ bench-smoke:
 # once (-short trims its sample count). Reference numbers: BENCH_kernel.json.
 bench-kernel:
 	$(GO) test -short -run=TestKernelAllocBudget -bench=KernelReport -benchtime=1x ./internal/litho/
+
+# Telemetry-overhead smoke: asserts that a disabled sink adds zero
+# allocations to instrumented hot paths and measures the per-update cost
+# once. Reference numbers: BENCH_obs.json.
+bench-obs:
+	$(GO) test -run='TestDisabledSinkZeroAlloc|TestEnabledCounterZeroAlloc' -bench=ObsOverhead -benchtime=1x -benchmem ./internal/obs/
 
 # The full pre-merge gate: compile everything, vet, run the domain lint
 # suite, run the tests, then run them again under the race detector (the

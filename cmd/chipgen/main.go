@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"postopc/internal/cli"
 	"postopc/internal/netlist"
 	"postopc/internal/pdk"
 	"postopc/internal/place"
@@ -97,7 +98,4 @@ func sortedCells(m map[string]int) []string {
 	return out
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "chipgen:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("chipgen", err) }

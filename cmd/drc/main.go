@@ -15,6 +15,7 @@ import (
 	"os"
 	"sort"
 
+	"postopc/internal/cli"
 	"postopc/internal/drc"
 	"postopc/internal/geom"
 	"postopc/internal/layout"
@@ -134,7 +135,4 @@ func build(design string, size int) (*netlist.Netlist, error) {
 	return nil, fmt.Errorf("unknown design %q", design)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "drc:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("drc", err) }

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"postopc/internal/cli"
 	"postopc/internal/geom"
 	"postopc/internal/layout"
 	"postopc/internal/litho"
@@ -154,7 +155,4 @@ func writeSVG(m litho.Model, width, pitch int64, count int, c litho.Corner, path
 	return s.Write(f)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lithosim:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("lithosim", err) }

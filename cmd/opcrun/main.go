@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"os"
 
+	"postopc/internal/cli"
 	"postopc/internal/geom"
 	"postopc/internal/litho"
+	"postopc/internal/obs"
 	"postopc/internal/opc"
 	"postopc/internal/pdk"
 	"postopc/internal/report"
@@ -26,7 +28,9 @@ func main() {
 	mode := flag.String("mode", "model", "correction: rule | model")
 	model := flag.String("model", "gauss", "imaging model: abbe | gauss")
 	iters := flag.Int("iters", 8, "model-based OPC iterations")
+	tel := cli.Telemetry("opcrun")
 	flag.Parse()
+	tel.Start()
 
 	p := pdk.N90()
 	var m litho.Model
@@ -42,6 +46,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if im, ok := m.(interface{ Instrument(*obs.Sink) }); ok {
+		im.Instrument(tel.Sink)
+	}
+	litho.InstrumentPools(tel.Sink)
 
 	la := litho.LineArray{WidthNM: geom.Coord(*width), PitchNM: geom.Coord(*pitch),
 		Count: *count, LengthNM: geom.Coord(*width) * 14}
@@ -51,12 +59,15 @@ func main() {
 	}
 
 	// Baseline: EPE of the uncorrected mask.
+	sp := tel.Sink.Start("opc.verify.baseline")
 	targets := fragmentAll(drawn)
 	epes0, st0, err := opc.Verify(m, drawn, nil, targets, litho.Nominal, 8)
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
 
+	sp = tel.Sink.Start("opc.correct")
 	var corrected []geom.Polygon
 	var epes1 []float64
 	var st1 opc.EPEStats
@@ -92,6 +103,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+	sp.End()
 
 	tb := report.NewTable("residual EPE ("+*mode+" OPC, "+*model+" model)",
 		"stage", "n", "mean(nm)", "sigma(nm)", "max|EPE|", "p95|EPE|", "violations")
@@ -113,6 +125,7 @@ func main() {
 		v1 += len(pg)
 	}
 	fmt.Printf("mask vertices: %d drawn -> %d corrected\n", v0, v1)
+	tel.Close()
 }
 
 func fragmentAll(polys []geom.Polygon) []*opc.FragmentedPolygon {
@@ -127,7 +140,4 @@ func fragmentAll(polys []geom.Polygon) []*opc.FragmentedPolygon {
 	return out
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "opcrun:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("opcrun", err) }

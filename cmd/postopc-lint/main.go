@@ -31,6 +31,7 @@ import (
 	"postopc/internal/analysis"
 	"postopc/internal/analysis/load"
 	"postopc/internal/analysis/suite"
+	"postopc/internal/cli"
 )
 
 func main() {
@@ -62,15 +63,13 @@ func main() {
 	}
 	pkgs, err := load.Packages(".", patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "postopc-lint:", err)
-		os.Exit(1)
+		cli.Fatal("postopc-lint", err)
 	}
 	total := 0
 	for _, pkg := range pkgs {
 		n, err := runSuite(pkg.Fset, pkg.Syntax, pkg.Types, pkg.Info, os.Stdout)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "postopc-lint:", err)
-			os.Exit(1)
+			cli.Fatal("postopc-lint", err)
 		}
 		total += n
 	}

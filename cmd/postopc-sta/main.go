@@ -8,6 +8,7 @@
 //	postopc-sta -design mult -size 4 -clock 2200
 //	postopc-sta -netlist design.v -clock 1800 -mode model -topk 10
 //	postopc-sta -design rca -size 8 -clock 2600 -mc 500
+//	postopc-sta -design rca -size 8 -trace run.json -metrics metrics.prom
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"postopc/internal/cli"
 	"postopc/internal/flow"
 	"postopc/internal/netlist"
 	"postopc/internal/pdk"
@@ -41,7 +43,9 @@ func main() {
 	jobs := flag.Int("j", 0, "worker goroutines for extraction, ORC and Monte Carlo (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
 	useCache := flag.Bool("cache", false, "recall repeated layout contexts from the content-addressed pattern cache; results are byte-identical with and without it")
 	cacheSize := flag.Int("cache-size", 0, "pattern cache capacity in artifacts (0 = default); implies -cache")
+	tel := cli.Telemetry("postopc-sta")
 	flag.Parse()
+	tel.Start()
 
 	n, err := loadNetlist(*file, *design, *size, *seed)
 	if err != nil {
@@ -59,6 +63,7 @@ func main() {
 	if *useCache || *cacheSize > 0 {
 		f.EnableCache(*cacheSize)
 	}
+	f.EnableObs(tel.Sink)
 
 	if *libOut != "" {
 		lf, err := os.Create(*libOut)
@@ -213,6 +218,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		vm.Obs = tel.Sink
 		mcr, err := vm.MonteCarloWorkers(res.Graph, cfg, *mc, 1, *jobs)
 		if err != nil {
 			fatal(err)
@@ -235,6 +241,7 @@ func main() {
 	if f.Cache != nil {
 		flow.CacheStatsTable(f.CacheStats()).Fprint(os.Stdout)
 	}
+	tel.Close()
 }
 
 func loadNetlist(file, design string, size int, seed int64) (*netlist.Netlist, error) {
@@ -271,7 +278,4 @@ func parseMode(s string) (flow.OPCMode, error) {
 	return 0, fmt.Errorf("unknown OPC mode %q", s)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "postopc-sta:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("postopc-sta", err) }

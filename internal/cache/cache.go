@@ -15,6 +15,8 @@ package cache
 import (
 	"sync"
 	"sync/atomic"
+
+	"postopc/internal/obs"
 )
 
 // Key is a content signature: a collision-resistant hash (SHA-256 sized) of
@@ -76,6 +78,12 @@ type Store struct {
 	perShard int
 
 	hits, misses, waits, evictions atomic.Uint64
+
+	// Telemetry handles (see Instrument). All nil on an uninstrumented
+	// store, where they cost a nil check per Do; they only ever receive
+	// writes, so telemetry can never alter a cached result.
+	mHits, mMisses, mWaits, mEvictions *obs.Counter
+	hLookup, hWait                     *obs.Histogram
 }
 
 // DefaultEntries is the bound used when New is given a non-positive size.
@@ -95,6 +103,21 @@ func New(maxEntries int) *Store {
 	return s
 }
 
+// Instrument attaches telemetry to the store: hit/miss/wait/evict
+// counters under "cache.*" plus lookup and single-flight wait latency
+// histograms. Call it before the store is shared between goroutines
+// (typically right after New); a nil or disabled sink leaves the store
+// uninstrumented.
+func (s *Store) Instrument(sink *obs.Sink) *Store {
+	s.mHits = sink.Counter("cache.hits_total")
+	s.mMisses = sink.Counter("cache.misses_total")
+	s.mWaits = sink.Counter("cache.waits_total")
+	s.mEvictions = sink.Counter("cache.evictions_total")
+	s.hLookup = sink.LatencyHistogram("cache.lookup_ns")
+	s.hWait = sink.LatencyHistogram("cache.singleflight_wait_ns")
+	return s
+}
+
 // Do returns the value cached under k, computing it with compute if absent.
 // Concurrent calls for the same key run compute exactly once — the others
 // block until it finishes and share its result (single-flight). A failed
@@ -104,6 +127,7 @@ func New(maxEntries int) *Store {
 // compute must be a pure function of the data hashed into k; the returned
 // value is shared between callers and must be treated as immutable.
 func (s *Store) Do(k Key, compute func() (any, error)) (any, error) {
+	t0 := s.hLookup.StartTimer()
 	sh := &s.shards[int(k[0])%numShards]
 	sh.mu.Lock()
 	if e, ok := sh.entries[k]; ok {
@@ -111,11 +135,17 @@ func (s *Store) Do(k Key, compute func() (any, error)) (any, error) {
 		case <-e.done: // already complete: a plain hit
 			sh.mu.Unlock()
 			s.hits.Add(1)
+			s.mHits.Inc()
+			s.hLookup.ObserveSince(t0)
 			return e.val, e.err
 		default: // in flight: wait for the leader
 			sh.mu.Unlock()
 			s.waits.Add(1)
+			s.mWaits.Inc()
+			s.hLookup.ObserveSince(t0)
+			tw := s.hWait.StartTimer()
 			<-e.done
+			s.hWait.ObserveSince(tw)
 			return e.val, e.err
 		}
 	}
@@ -123,6 +153,8 @@ func (s *Store) Do(k Key, compute func() (any, error)) (any, error) {
 	sh.entries[k] = e
 	sh.mu.Unlock()
 	s.misses.Add(1)
+	s.mMisses.Inc()
+	s.hLookup.ObserveSince(t0)
 
 	e.val, e.err = compute()
 	close(e.done)
@@ -141,6 +173,7 @@ func (s *Store) Do(k Key, compute func() (any, error)) (any, error) {
 			sh.fifo = sh.fifo[1:]
 			delete(sh.entries, old)
 			s.evictions.Add(1)
+			s.mEvictions.Inc()
 		}
 	}
 	sh.mu.Unlock()

@@ -91,6 +91,19 @@ func TestHitAfterCompletion(t *testing.T) {
 	}
 }
 
+// TestHitRateZeroLookups: a fresh store (or a Stats zero value) has no
+// lookups; HitRate must report 0, not NaN — this value flows straight into
+// CLI tables and the metrics gauge, where NaN would corrupt the output.
+func TestHitRateZeroLookups(t *testing.T) {
+	var zero Stats
+	if got := zero.HitRate(); got != 0 {
+		t.Fatalf("zero-value Stats.HitRate() = %g, want 0", got)
+	}
+	if got := New(64).Stats().HitRate(); got != 0 {
+		t.Fatalf("fresh store HitRate() = %g, want 0", got)
+	}
+}
+
 // TestErrorsAreNotCached: a failed compute must not poison the key.
 func TestErrorsAreNotCached(t *testing.T) {
 	s := New(64)

@@ -1,0 +1,147 @@
+// Package cli holds the shared command-line plumbing of the cmd/ tools:
+// uniform fatal-error diagnostics (every tool prefixes stderr with its
+// name and exits non-zero) and the run-telemetry flags (-metrics, -trace,
+// -pprof) that attach an obs.Sink to a run and export it at exit.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+
+	"postopc/internal/obs"
+)
+
+// Fatal prints "tool: err" to stderr and exits with status 1. Every cmd/
+// binary funnels its fatal paths through this so diagnostics are uniform
+// across the tool set.
+func Fatal(tool string, err error) {
+	fmt.Fprintln(os.Stderr, tool+":", err)
+	os.Exit(1)
+}
+
+// Fatalf is Fatal with a format string.
+func Fatalf(tool, format string, args ...interface{}) {
+	Fatal(tool, fmt.Errorf(format, args...))
+}
+
+// Telemetry wires the -metrics/-trace/-pprof flags to an obs.Sink. Usage:
+//
+//	tel := cli.Telemetry("mytool")
+//	flag.Parse()
+//	tel.Start()
+//	defer tel.Close()
+//	... pass tel.Sink to flow.EnableObs / litho Instrument / par.Obs ...
+//
+// Sink is nil (all handles no-ops) when none of the flags were given, so
+// tools pass it through unconditionally.
+type TelemetryFlags struct {
+	tool    string
+	metrics string
+	trace   string
+	pprof   string
+
+	// Sink is the run's telemetry sink; nil until Start decides the run
+	// is instrumented.
+	Sink *obs.Sink
+}
+
+// Telemetry registers -metrics, -trace and -pprof on the default FlagSet.
+// Call before flag.Parse; Start after.
+func Telemetry(tool string) *TelemetryFlags {
+	t := &TelemetryFlags{tool: tool}
+	flag.StringVar(&t.metrics, "metrics", "",
+		"export metrics: a file path writes Prometheus text at exit; \":port\" serves Prometheus (/metrics) and expvar JSON (/debug/vars) live")
+	flag.StringVar(&t.trace, "trace", "",
+		"write the run's spans to this file as Chrome trace-event JSON (load via chrome://tracing or Perfetto)")
+	flag.StringVar(&t.pprof, "pprof", "",
+		"serve net/http/pprof on \":port\" for live CPU/heap profiling")
+	return t
+}
+
+// Start creates the sink when any telemetry flag was given and launches
+// the -metrics/-pprof HTTP servers. Server failures (e.g. a busy port)
+// are fatal: asking for telemetry and silently not getting it would be
+// worse than stopping.
+func (t *TelemetryFlags) Start() {
+	if t.pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(t.pprof, nil); err != nil {
+				Fatalf(t.tool, "pprof server: %v", err)
+			}
+		}()
+	}
+	if t.metrics == "" && t.trace == "" {
+		return
+	}
+	t.Sink = obs.NewSink()
+	if isPort(t.metrics) {
+		reg := t.Sink.Metrics
+		go func() {
+			if err := http.ListenAndServe(t.metrics, obs.Handler(reg)); err != nil {
+				Fatalf(t.tool, "metrics server: %v", err)
+			}
+		}()
+	}
+}
+
+// Close exports the collected telemetry: the Prometheus file for a
+// file-valued -metrics, the Chrome trace for -trace, and a per-span
+// summary table on stdout when tracing was on. Call once, at the end of a
+// successful run.
+func (t *TelemetryFlags) Close() {
+	if t.Sink == nil {
+		return
+	}
+	if t.metrics != "" && !isPort(t.metrics) {
+		f, err := os.Create(t.metrics)
+		if err != nil {
+			Fatal(t.tool, err)
+		}
+		werr := obs.WritePrometheus(f, t.Sink.Metrics.Snapshot())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			Fatal(t.tool, werr)
+		}
+		fmt.Println("wrote metrics to", t.metrics)
+	}
+	if t.trace != "" {
+		f, err := os.Create(t.trace)
+		if err != nil {
+			Fatal(t.tool, err)
+		}
+		werr := t.Sink.Trace.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			Fatal(t.tool, werr)
+		}
+		t.Sink.Trace.SummaryTable().Fprint(os.Stdout)
+		fmt.Println("wrote trace to", t.trace)
+	}
+}
+
+// isPort reports whether the -metrics value selects the live server
+// (":8080", "localhost:8080") rather than an output file.
+func isPort(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] == ':' {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' || s[i] == os.PathSeparator {
+			return false
+		}
+		if s[i] == ':' {
+			return true
+		}
+	}
+	return false
+}

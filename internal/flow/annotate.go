@@ -87,7 +87,11 @@ func (f *Flow) Run(n *netlist.Netlist, opt RunOptions) (*RunResult, error) {
 	if len(opt.Corners) == 0 {
 		opt.Corners = []litho.Corner{litho.Nominal}
 	}
+	root := f.Obs.Start("flow.run")
+	defer root.End()
+	sp := f.Obs.StartChild("flow.place", root.ID())
 	pl, err := f.Place(n, opt.Place)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +99,9 @@ func (f *Flow) Run(n *netlist.Netlist, opt RunOptions) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp = f.Obs.StartChild("flow.sta.drawn", root.ID())
 	drawn, err := g.Analyze(opt.STA, nil)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +121,9 @@ func (f *Flow) Run(n *netlist.Netlist, opt RunOptions) (*RunResult, error) {
 		// Map iteration order is random; keep reports reproducible.
 		sort.Strings(tagged)
 	}
+	sp = f.Obs.StartChild("flow.sta.annotated", root.ID())
 	annotated, err := g.Analyze(opt.STA, Annotations(extrs, 0))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,30 @@
+package flow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"postopc/internal/cache"
+)
+
+// TestCacheStatsTableZeroLookups: rendering the stats of an idle cache (the
+// -cache flag given but nothing extracted yet) must print a 0.000 hit rate,
+// never NaN — Stats.HitRate guards the zero-lookup division and the table
+// must preserve that.
+func TestCacheStatsTableZeroLookups(t *testing.T) {
+	var buf bytes.Buffer
+	CacheStatsTable(cache.Stats{}).Fprint(&buf)
+	out := buf.String()
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("zero-stats table renders NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "0.000") {
+		t.Fatalf("zero-stats table missing 0.000 hit rate:\n%s", out)
+	}
+	buf.Reset()
+	CacheStatsTable(cache.New(16).Stats()).Fprint(&buf)
+	if out := buf.String(); strings.Contains(out, "NaN") {
+		t.Fatalf("fresh-store table renders NaN:\n%s", out)
+	}
+}

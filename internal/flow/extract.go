@@ -9,6 +9,7 @@ import (
 	"postopc/internal/geom"
 	"postopc/internal/layout"
 	"postopc/internal/litho"
+	"postopc/internal/obs"
 	"postopc/internal/opc"
 	"postopc/internal/par"
 )
@@ -81,26 +82,33 @@ func (f *Flow) ExtractInstance(chip *layout.Chip, inst *layout.Instance, opt Ext
 	if len(opt.Corners) == 0 {
 		opt.Corners = []litho.Corner{litho.Nominal}
 	}
-	return f.extractInstance(env, chip, inst, opt)
+	return f.extractInstance(env, chip, inst, opt, 0)
 }
 
 // extractInstance is ExtractInstance with the stage environment already
-// built (ExtractGates builds it once for all workers).
-func (f *Flow) extractInstance(env *stageEnv, chip *layout.Chip, inst *layout.Instance, opt ExtractOptions) (*GateExtraction, error) {
+// built (ExtractGates builds it once for all workers). parent is the
+// telemetry span the per-window stage spans nest under (0 for a root).
+func (f *Flow) extractInstance(env *stageEnv, chip *layout.Chip, inst *layout.Instance, opt ExtractOptions, parent obs.SpanID) (*GateExtraction, error) {
 	sites := inst.GateSites()
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("flow: instance %s has no gate sites", inst.Name)
 	}
 	recipe := env.Verify.Recipe()
 	ambit := recipe.GuardNM + env.PitchNM
+	sp := env.obs.StartChild("stage.clip", parent)
+	t0 := env.met.clip.StartTimer()
 	window := cdx.WindowOf(sites, ambit)
 	clip := stageClip(chip, window)
+	env.met.clip.ObserveSince(t0)
+	sp.End()
 	if len(clip.Polys) == 0 {
 		return nil, fmt.Errorf("flow: no poly in window of %s", inst.Name)
 	}
 	// Canonicalize the sites to match the clip: cell-local names,
 	// window-relative channels. Instance identity must not reach the
 	// artifact — it would defeat both caching and determinism.
+	sp = env.obs.StartChild("stage.canonicalize", parent)
+	t0 = env.met.canonicalize.StartTimer()
 	csites := make([]layout.GateSite, len(sites))
 	for i, s := range sites {
 		csites[i] = layout.GateSite{
@@ -110,7 +118,9 @@ func (f *Flow) extractInstance(env *stageEnv, chip *layout.Chip, inst *layout.In
 			Channel: s.Channel.Translate(geom.Pt(-clip.Origin.X, -clip.Origin.Y)),
 		}
 	}
-	art, err := f.cachedWindow(env, clip, csites, opt.Corners)
+	env.met.canonicalize.ObserveSince(t0)
+	sp.End()
+	art, err := f.cachedWindow(env, clip, csites, opt.Corners, parent)
 	if err != nil {
 		return nil, fmt.Errorf("flow: window of %s: %w", inst.Name, err)
 	}
@@ -185,15 +195,17 @@ func (f *Flow) ExtractGates(chip *layout.Chip, names []string, opt ExtractOption
 		opt.Corners = []litho.Corner{litho.Nominal}
 	}
 
+	sp := f.Obs.Start("flow.extract")
 	exts := make([]*GateExtraction, len(names))
 	err = par.ForEach(len(names), func(i int) error {
-		ext, err := f.extractInstance(env, chip, insts[i], opt)
+		ext, err := f.extractInstance(env, chip, insts[i], opt, sp.ID())
 		if err != nil {
 			return err
 		}
 		exts[i] = ext
 		return nil
-	}, par.Workers(opt.Workers))
+	}, par.Workers(opt.Workers), par.Obs(f.Obs))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ import (
 	"postopc/internal/layout"
 	"postopc/internal/litho"
 	"postopc/internal/netlist"
+	"postopc/internal/obs"
 	"postopc/internal/opc"
 	"postopc/internal/pdk"
 	"postopc/internal/place"
@@ -76,6 +77,11 @@ type Flow struct {
 	// it, at any worker count. Shallow Flow copies share the store, which
 	// is safe: signatures capture every option a copy might tweak.
 	Cache *cache.Store
+	// Obs, when non-nil, receives run telemetry — per-stage spans and
+	// latency histograms, cache/kernel/scheduler counters (see EnableObs).
+	// Telemetry is write-only: like Workers, it never enters a signature
+	// and never changes a result.
+	Obs *obs.Sink
 
 	// lazy holds the members built on first use. It is a pointer so that
 	// shallow copies of a Flow (e.g. per-sweep option tweaks) share one
@@ -154,6 +160,32 @@ func New(p *pdk.PDK, cfg Config) (*Flow, error) {
 // artifacts (<= 0 selects the default bound) and returns f for chaining.
 func (f *Flow) EnableCache(maxEntries int) *Flow {
 	f.Cache = cache.New(maxEntries)
+	if f.Obs.Enabled() {
+		f.Cache.Instrument(f.Obs)
+	}
+	return f
+}
+
+// EnableObs attaches a telemetry sink to the run and returns f for
+// chaining: the pattern cache (if attached), both litho models, the
+// package-level scratch pools and every graph built afterwards report into
+// it, and the staged pipeline emits per-stage spans and latency
+// histograms. EnableObs in either order with EnableCache works. A nil sink
+// detaches nothing but is harmless — telemetry is already off by default.
+func (f *Flow) EnableObs(sink *obs.Sink) *Flow {
+	f.Obs = sink
+	if f.Cache != nil {
+		f.Cache.Instrument(sink)
+	}
+	if m, ok := f.VerifySim.(interface{ Instrument(*obs.Sink) }); ok {
+		m.Instrument(sink)
+	}
+	if f.OPCModelSim != f.VerifySim {
+		if m, ok := f.OPCModelSim.(interface{ Instrument(*obs.Sink) }); ok {
+			m.Instrument(sink)
+		}
+	}
+	litho.InstrumentPools(sink)
 	return f
 }
 
@@ -171,9 +203,14 @@ func (f *Flow) Place(n *netlist.Netlist, opt place.Options) (*place.Result, erro
 	return place.Place(n, f.Lib, opt)
 }
 
-// BuildGraph constructs the STA graph.
+// BuildGraph constructs the STA graph (instrumented when Obs is set).
 func (f *Flow) BuildGraph(n *netlist.Netlist) (*sta.Graph, error) {
-	return sta.Build(n, f.Lib, f.TL)
+	g, err := sta.Build(n, f.Lib, f.TL)
+	if err != nil {
+		return nil, err
+	}
+	g.Instrument(f.Obs)
+	return g, nil
 }
 
 // ruleTable returns the rule-based OPC deck, building it from the OPC model

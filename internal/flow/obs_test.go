@@ -1,0 +1,110 @@
+package flow
+
+import (
+	"runtime"
+	"testing"
+
+	"postopc/internal/netlist"
+	"postopc/internal/obs"
+	"postopc/internal/sta"
+)
+
+// TestRunObsDeterminism is the telemetry hard requirement: attaching a live
+// Sink must not perturb a single reported bit, at any worker count, with or
+// without the cache — telemetry is write-only. The baseline is the plain
+// uninstrumented run.
+func TestRunObsDeterminism(t *testing.T) {
+	design := netlist.InverterChain(8)
+	opts := func(workers int) RunOptions {
+		return RunOptions{
+			STA:     sta.DefaultConfig(1500),
+			Mode:    OPCModel,
+			Workers: workers,
+		}
+	}
+	base := newFastFlow(t)
+	res, err := base.Run(design, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderRun(res)
+
+	for _, cached := range []bool{false, true} {
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			f := newFastFlow(t)
+			if cached {
+				f.EnableCache(0)
+			}
+			sink := obs.NewSink()
+			f.EnableObs(sink)
+			res, err := f.Run(design, opts(workers))
+			if err != nil {
+				t.Fatalf("cached=%v workers=%d: %v", cached, workers, err)
+			}
+			if got := renderRun(res); got != want {
+				t.Fatalf("cached=%v workers=%d: instrumented run rendered differently:\n--- want ---\n%s--- got ---\n%s",
+					cached, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestRunObsCoverage: one instrumented run must trace every pipeline stage
+// and populate the cross-package metric families the exporter promises.
+func TestRunObsCoverage(t *testing.T) {
+	f := newFastFlow(t).EnableCache(0)
+	sink := obs.NewSink()
+	f.EnableObs(sink)
+	if _, err := f.Run(netlist.InverterChain(8), RunOptions{
+		STA:     sta.DefaultConfig(1500),
+		Mode:    OPCModel,
+		Workers: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := map[string]bool{}
+	for _, ev := range sink.Trace.Events() {
+		spans[ev.Name] = true
+	}
+	for _, name := range []string{
+		"flow.run", "flow.extract",
+		"stage.clip", "stage.canonicalize", "stage.opc",
+		"stage.image", "stage.contour", "stage.profile",
+	} {
+		if !spans[name] {
+			t.Errorf("trace missing span %q (got %v)", name, spans)
+		}
+	}
+
+	snap := sink.Metrics.Snapshot()
+	counters := map[string]uint64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	for _, name := range []string{
+		"cache.misses_total", "par.items_total", "sta.analyses_total",
+		"litho.pool_borrows_total", "litho.pool_returns_total",
+	} {
+		if counters[name] == 0 {
+			t.Errorf("counter %q not populated (counters %v)", name, counters)
+		}
+	}
+	if counters["litho.pool_borrows_total"] != counters["litho.pool_returns_total"] {
+		t.Errorf("scratch pool unbalanced: %d borrows vs %d returns",
+			counters["litho.pool_borrows_total"], counters["litho.pool_returns_total"])
+	}
+	hists := map[string]uint64{}
+	for _, h := range snap.Histograms {
+		hists[h.Name] = h.Count
+	}
+	for _, name := range []string{
+		"flow.stage.clip_ns", "flow.stage.canonicalize_ns", "flow.stage.opc_ns",
+		"flow.stage.image_ns", "flow.stage.contour_ns", "flow.stage.profile_ns",
+		"cache.lookup_ns",
+	} {
+		if hists[name] == 0 {
+			t.Errorf("histogram %q recorded no observations", name)
+		}
+	}
+}

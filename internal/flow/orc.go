@@ -7,6 +7,7 @@ import (
 	"postopc/internal/geom"
 	"postopc/internal/layout"
 	"postopc/internal/litho"
+	"postopc/internal/obs"
 	"postopc/internal/par"
 )
 
@@ -144,15 +145,17 @@ func (f *Flow) VerifyChip(chip *layout.Chip, opt ORCOptions) (*ORCReport, error)
 			tiles = append(tiles, geom.R(tx, ty, minC(tx+opt.TileNM, die.X1), minC(ty+opt.TileNM, die.Y1)))
 		}
 	}
+	sp := f.Obs.Start("flow.orc")
 	shards := make([]*ORCReport, len(tiles))
 	err = par.ForEach(len(tiles), func(i int) error {
 		shard := &ORCReport{ByKind: map[HotspotKind]int{}}
-		if err := f.verifyTile(env, chip, tiles[i], guard, opt.Corners, scan, shard); err != nil {
+		if err := f.verifyTile(env, chip, tiles[i], guard, opt.Corners, scan, shard, sp.ID()); err != nil {
 			return err
 		}
 		shards[i] = shard
 		return nil
-	}, par.Workers(opt.Workers))
+	}, par.Workers(opt.Workers), par.Obs(f.Obs))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -179,15 +182,20 @@ func (f *Flow) VerifyChip(chip *layout.Chip, opt ORCOptions) (*ORCReport, error)
 // verifyTile scans one tile: the window is clipped and canonicalized, the
 // scan runs (or is recalled) in canonical coordinates, and the resulting
 // hotspots are mapped back to chip space with their owning instances.
+// parent is the telemetry span the tile's stage spans nest under.
 func (f *Flow) verifyTile(env *stageEnv, chip *layout.Chip, tile geom.Rect, guard geom.Coord,
-	corners []litho.Corner, scan orcScanOptions, rep *ORCReport) error {
+	corners []litho.Corner, scan orcScanOptions, rep *ORCReport, parent obs.SpanID) error {
 	window := tile.Expand(guard + env.PitchNM)
+	sp := env.obs.StartChild("stage.clip", parent)
+	t0 := env.met.clip.StartTimer()
 	origin, rects := chip.CanonicalWindowRects(layout.LayerPoly, window)
+	env.met.clip.ObserveSince(t0)
+	sp.End()
 	if len(rects) == 0 {
 		return nil
 	}
 	back := geom.Pt(-origin.X, -origin.Y)
-	art, err := f.cachedTile(env, rects, window.Translate(back), tile.Translate(back), corners, scan)
+	art, err := f.cachedTile(env, rects, window.Translate(back), tile.Translate(back), corners, scan, parent)
 	if err != nil {
 		return err
 	}

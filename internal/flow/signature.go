@@ -9,6 +9,7 @@ import (
 	"postopc/internal/geom"
 	"postopc/internal/layout"
 	"postopc/internal/litho"
+	"postopc/internal/obs"
 )
 
 // Window signatures: each cached artifact is keyed by a SHA-256 over the
@@ -37,6 +38,8 @@ func (f *Flow) envFor(mode OPCMode) (*stageEnv, error) {
 		Dev:     f.Dev,
 		PitchNM: f.PDK.Rules.PolyPitchNM,
 		Mode:    mode,
+		obs:     f.Obs,
+		met:     newStageMetrics(f.Obs),
 	}
 	if mode == OPCRule {
 		rt, err := f.ruleTable()
@@ -104,23 +107,26 @@ func tileSignature(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, cor
 }
 
 // cachedWindow computes (or recalls) the window artifact for one canonical
-// clip. With no cache attached it simply runs the stages.
-func (f *Flow) cachedWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.GateSite, corners []litho.Corner) (*WindowArtifact, error) {
+// clip. With no cache attached it simply runs the stages. parent is the
+// telemetry span the stage spans nest under; it never enters the
+// signature (a cache hit recalls the artifact without re-running — and
+// therefore without re-tracing — the stages).
+func (f *Flow) cachedWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.GateSite, corners []litho.Corner, parent obs.SpanID) (*WindowArtifact, error) {
 	if f.Cache == nil {
-		return stageWindow(env, clip, sites, corners)
+		return stageWindow(env, clip, sites, corners, parent)
 	}
 	return cache.Do(f.Cache, windowSignature(env, clip, sites, corners), func() (*WindowArtifact, error) {
-		return stageWindow(env, clip, sites, corners)
+		return stageWindow(env, clip, sites, corners, parent)
 	})
 }
 
 // cachedTile computes (or recalls) the scan artifact for one canonical ORC
 // tile.
-func (f *Flow) cachedTile(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, corners []litho.Corner, scan orcScanOptions) (*TileArtifact, error) {
+func (f *Flow) cachedTile(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, corners []litho.Corner, scan orcScanOptions, parent obs.SpanID) (*TileArtifact, error) {
 	if f.Cache == nil {
-		return stageTileScan(env, rects, bounds, tile, corners, scan)
+		return stageTileScan(env, rects, bounds, tile, corners, scan, parent)
 	}
 	return cache.Do(f.Cache, tileSignature(env, rects, bounds, tile, corners, scan), func() (*TileArtifact, error) {
-		return stageTileScan(env, rects, bounds, tile, corners, scan)
+		return stageTileScan(env, rects, bounds, tile, corners, scan, parent)
 	})
 }

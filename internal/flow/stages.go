@@ -5,6 +5,7 @@ import (
 	"postopc/internal/geom"
 	"postopc/internal/layout"
 	"postopc/internal/litho"
+	"postopc/internal/obs"
 	"postopc/internal/opc"
 )
 
@@ -52,6 +53,31 @@ type stageEnv struct {
 	// fingerprint is the canonical serialization of every field above —
 	// the environment half of every window/tile signature.
 	fingerprint []byte
+
+	// obs and met carry the run's telemetry (write-only, nil-safe). Like
+	// Workers, they are deliberately NOT part of fingerprint: telemetry
+	// observes a computation without being an input to it, so two runs
+	// differing only in instrumentation must share cache entries.
+	obs *obs.Sink
+	met stageMetrics
+}
+
+// stageMetrics are the pre-resolved per-stage latency histograms of one
+// environment. All handles are nil (no-ops) when telemetry is off.
+type stageMetrics struct {
+	clip, canonicalize, opc, image, contour, profile *obs.Histogram
+}
+
+// newStageMetrics resolves the per-stage histograms from the sink.
+func newStageMetrics(sink *obs.Sink) stageMetrics {
+	return stageMetrics{
+		clip:         sink.LatencyHistogram("flow.stage.clip_ns"),
+		canonicalize: sink.LatencyHistogram("flow.stage.canonicalize_ns"),
+		opc:          sink.LatencyHistogram("flow.stage.opc_ns"),
+		image:        sink.LatencyHistogram("flow.stage.image_ns"),
+		contour:      sink.LatencyHistogram("flow.stage.contour_ns"),
+		profile:      sink.LatencyHistogram("flow.stage.profile_ns"),
+	}
 }
 
 // WindowArtifact is the outcome of one window's OPC → image → contour →
@@ -163,17 +189,34 @@ func stageImage(env *stageEnv, mask []geom.Polygon, bounds geom.Rect, corners []
 	return imgs, err
 }
 
-// stageProfile extracts each gate site's printed CD profile from the corner
-// images and collapses it to equivalent lengths. sites are in canonical
-// coordinates with cell-local names.
-func stageProfile(env *stageEnv, imgs []*litho.Image, sites []layout.GateSite, corners []litho.Corner) []SiteCD {
+// stageContour extracts each gate site's printed CD profile from the
+// corner images: the resist contour is sampled across every site's channel
+// at each corner's effective threshold. Extractions are independent per
+// (site, corner), so splitting them from the collapse (stageProfile) only
+// regroups the computation — the floats are identical.
+func stageContour(env *stageEnv, imgs []*litho.Image, sites []layout.GateSite, corners []litho.Corner) [][]cdx.GateCD {
 	recipe := env.Verify.Recipe()
-	out := make([]SiteCD, 0, len(sites))
-	for _, site := range sites {
-		sc := SiteCD{LocalName: site.Name, Kind: site.Kind, DrawnL: float64(site.L())}
+	out := make([][]cdx.GateCD, len(sites))
+	for si, site := range sites {
+		out[si] = make([]cdx.GateCD, len(corners))
 		for ci, corner := range corners {
 			th := recipe.EffectiveThreshold(corner)
-			g := cdx.ExtractGate(imgs[ci], site, th, recipe.Polarity, env.CDX)
+			out[si][ci] = cdx.ExtractGate(imgs[ci], site, th, recipe.Polarity, env.CDX)
+		}
+	}
+	return out
+}
+
+// stageProfile collapses the extracted CD profiles to per-corner summary
+// statistics and equivalent lengths. gates is stageContour's output,
+// indexed [site][corner]; sites are in canonical coordinates with
+// cell-local names.
+func stageProfile(env *stageEnv, gates [][]cdx.GateCD, sites []layout.GateSite, corners []litho.Corner) []SiteCD {
+	out := make([]SiteCD, 0, len(sites))
+	for si, site := range sites {
+		sc := SiteCD{LocalName: site.Name, Kind: site.Kind, DrawnL: float64(site.L())}
+		for ci, corner := range corners {
+			g := gates[si][ci]
 			cc := CornerCD{
 				Corner:        corner,
 				MeanCD:        g.MeanCD(),
@@ -195,25 +238,44 @@ func stageProfile(env *stageEnv, imgs []*litho.Image, sites []layout.GateSite, c
 	return out
 }
 
-// stageWindow chains OPC → image → profile over one canonical clip: the
-// unit of work the pattern cache memoizes for gate extraction.
-func stageWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.GateSite, corners []litho.Corner) (*WindowArtifact, error) {
+// stageWindow chains OPC → image → contour → profile over one canonical
+// clip: the unit of work the pattern cache memoizes for gate extraction.
+// parent is the telemetry span the stage spans nest under (0 when tracing
+// is off or the caller has no enclosing span).
+func stageWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.GateSite, corners []litho.Corner, parent obs.SpanID) (*WindowArtifact, error) {
 	guard := env.Verify.Recipe().GuardNM
+	sp := env.obs.StartChild("stage.opc", parent)
+	t0 := env.met.opc.StartTimer()
 	mask, epeValues, err := stageOPC(env, clip.Polys, clip.Bounds.Expand(-guard), true)
+	env.met.opc.ObserveSince(t0)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = env.obs.StartChild("stage.image", parent)
+	t0 = env.met.image.StartTimer()
 	imgs, err := stageImage(env, mask, clip.Bounds, corners)
+	env.met.image.ObserveSince(t0)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = env.obs.StartChild("stage.contour", parent)
+	t0 = env.met.contour.StartTimer()
+	gates := stageContour(env, imgs, sites, corners)
+	env.met.contour.ObserveSince(t0)
+	sp.End()
+	sp = env.obs.StartChild("stage.profile", parent)
+	t0 = env.met.profile.StartTimer()
 	art := &WindowArtifact{
-		Sites:     stageProfile(env, imgs, sites, corners),
+		Sites:     stageProfile(env, gates, sites, corners),
 		EPEValues: epeValues,
 	}
 	if env.Mode != OPCNone {
 		art.EPE = opc.SummarizeEPE(epeValues, 8)
 	}
+	env.met.profile.ObserveSince(t0)
+	sp.End()
 	return art, nil
 }
 
@@ -221,16 +283,24 @@ func stageWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.Gate
 // / bridge / pullback scans over one canonical tile window. rects are the
 // canonical clipped poly rects, bounds the canonical window, tile the
 // canonical interior tile that owns the hotspots.
-func stageTileScan(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, corners []litho.Corner, scan orcScanOptions) (*TileArtifact, error) {
+func stageTileScan(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, corners []litho.Corner, scan orcScanOptions, parent obs.SpanID) (*TileArtifact, error) {
 	var drawn []geom.Polygon
 	for _, r := range rects {
 		drawn = append(drawn, r.Polygon())
 	}
+	sp := env.obs.StartChild("stage.opc", parent)
+	t0 := env.met.opc.StartTimer()
 	mask, _, err := stageOPC(env, drawn, geom.Rect{}, false)
+	env.met.opc.ObserveSince(t0)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = env.obs.StartChild("stage.image", parent)
+	t0 = env.met.image.StartTimer()
 	imgs, err := stageImage(env, mask, bounds, corners)
+	env.met.image.ObserveSince(t0)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"postopc/internal/layout"
 	"postopc/internal/litho"
+	"postopc/internal/obs"
 	"postopc/internal/par"
 	"postopc/internal/sta"
 	"postopc/internal/timinglib"
@@ -42,6 +43,10 @@ type VariationModel struct {
 	PW litho.ProcessWindow
 	// RandSigmaNM is the per-site random (non-litho) CD sigma.
 	RandSigmaNM float64
+	// Obs, when non-nil, receives Monte Carlo telemetry: an
+	// "sta.mc_samples_total" counter, a "flow.montecarlo" span and
+	// per-worker scheduler metrics. Write-only; never changes a sample.
+	Obs *obs.Sink
 
 	sites map[string]map[string]siteResponse // gate -> local site -> fit
 }
@@ -272,6 +277,8 @@ func (vm *VariationModel) MonteCarloWorkers(g *sta.Graph, cfg sta.Config, sample
 	for s := range seeds {
 		seeds[s] = master.Int63()
 	}
+	sp := vm.Obs.Start("flow.montecarlo")
+	cSamples := vm.Obs.Counter("sta.mc_samples_total")
 	wns := make([]float64, samples)
 	leak := make([]float64, samples)
 	err := par.ForEach(samples, func(s int) error {
@@ -282,9 +289,11 @@ func (vm *VariationModel) MonteCarloWorkers(g *sta.Graph, cfg sta.Config, sample
 		if err != nil {
 			return err
 		}
+		cSamples.Inc()
 		wns[s], leak[s] = res.WNS, res.LeakNW
 		return nil
-	}, par.Workers(workers))
+	}, par.Workers(workers), par.Obs(vm.Obs))
+	sp.End()
 	if err != nil {
 		return out, err
 	}

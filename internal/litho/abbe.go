@@ -6,6 +6,7 @@ import (
 
 	"postopc/internal/dsp"
 	"postopc/internal/geom"
+	"postopc/internal/obs"
 )
 
 // Abbe is the physical aerial-image model: partially coherent imaging
@@ -26,6 +27,21 @@ type Abbe struct {
 
 	mu   sync.RWMutex
 	bank map[filterKey]*filterSet
+
+	// Telemetry handles (see Instrument); nil on an uninstrumented model.
+	// They are write-only and allocation-free, so the kernel's steady-state
+	// allocation budget holds with telemetry on or off.
+	hAerial *obs.Histogram
+	cBuilds *obs.Counter
+}
+
+// Instrument attaches telemetry to the model: aerial latency under
+// "litho.abbe_aerial_ns" (one observation per Aerial/AerialSeries call)
+// and a "litho.filterbank_builds_total" counter. Call before the model is
+// shared between workers; a nil or disabled sink is a no-op.
+func (a *Abbe) Instrument(sink *obs.Sink) {
+	a.hAerial = sink.LatencyHistogram("litho.abbe_aerial_ns")
+	a.cBuilds = sink.Counter("litho.filterbank_builds_total")
 }
 
 // NewAbbe builds an Abbe model from the recipe.
@@ -50,6 +66,15 @@ func (a *Abbe) SourcePoints() []SourcePoint { return a.source }
 // bookkeeping: in steady state (warm filter bank and scratch pools) it
 // allocates only the returned Image.
 func (a *Abbe) Aerial(mask *geom.Raster, c Corner) (*Image, error) {
+	t0 := a.hAerial.StartTimer()
+	im, err := a.aerialOne(mask, c)
+	a.hAerial.ObserveSince(t0)
+	return im, err
+}
+
+// aerialOne is the uninstrumented single-corner imaging path, shared by
+// Aerial and AerialSeries so each public call observes exactly once.
+func (a *Abbe) aerialOne(mask *geom.Raster, c Corner) (*Image, error) {
 	if mask.Nx == 0 || mask.Ny == 0 {
 		return nil, fmt.Errorf("litho: empty mask raster")
 	}
@@ -109,8 +134,10 @@ func (a *Abbe) AerialSeries(mask *geom.Raster, corners []Corner) ([]*Image, erro
 	if mask.Nx == 0 || mask.Ny == 0 {
 		return nil, fmt.Errorf("litho: empty mask raster")
 	}
+	t0 := a.hAerial.StartTimer()
+	defer a.hAerial.ObserveSince(t0)
 	if len(corners) == 1 {
-		im, err := a.Aerial(mask, corners[0])
+		im, err := a.aerialOne(mask, corners[0])
 		if err != nil {
 			return nil, err
 		}

@@ -83,6 +83,7 @@ func (a *Abbe) filtersFor(nx, ny int, px, defocusNM float64) *filterSet {
 		return fs
 	}
 	fs = buildFilterSet(a.recipe, a.source, nx, ny, px, defocusNM)
+	a.cBuilds.Inc()
 	if len(a.bank) >= maxFilterSets {
 		a.bank = make(map[filterKey]*filterSet, maxFilterSets)
 	}

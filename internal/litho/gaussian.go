@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"postopc/internal/geom"
+	"postopc/internal/obs"
 )
 
 // Gaussian is the fast approximate aerial model: the amplitude point-spread
@@ -27,6 +28,18 @@ type Gaussian struct {
 	// with FitDualGaussian; zero weight degrades to the single kernel.
 	sigma2NM float64
 	weight2  float64
+
+	// hAerial is the telemetry handle (see Instrument); nil when
+	// uninstrumented. Write-only and allocation-free.
+	hAerial *obs.Histogram
+}
+
+// Instrument attaches telemetry to the model: aerial latency under
+// "litho.gaussian_aerial_ns", one observation per Aerial/AerialSeries
+// call. Call before the model is shared between workers; a nil or
+// disabled sink is a no-op.
+func (g *Gaussian) Instrument(sink *obs.Sink) {
+	g.hAerial = sink.LatencyHistogram("litho.gaussian_aerial_ns")
 }
 
 // NewGaussian builds the fast model from the recipe (single kernel).
@@ -71,9 +84,12 @@ func (g *Gaussian) SigmaAt(defocusNM float64) float64 {
 
 // Aerial implements Model.
 func (g *Gaussian) Aerial(mask *geom.Raster, c Corner) (*Image, error) {
+	t0 := g.hAerial.StartTimer()
 	ks := borrowKernelScratch()
-	defer ks.release()
-	return g.aerial(mask, c, ks)
+	im, err := g.aerial(mask, c, ks)
+	ks.release()
+	g.hAerial.ObserveSince(t0)
+	return im, err
 }
 
 func (g *Gaussian) aerial(mask *geom.Raster, c Corner, ks *kernelScratch) (*Image, error) {
@@ -193,6 +209,8 @@ func convolveGaussianInto(dst, amp []float64, nx, ny int, bg, sigma, px float64,
 // differ only in dose: corners sharing a defocus alias one *Image in the
 // returned slice, so callers must not mutate the returned images.
 func (g *Gaussian) AerialSeries(mask *geom.Raster, corners []Corner) ([]*Image, error) {
+	t0 := g.hAerial.StartTimer()
+	defer g.hAerial.ObserveSince(t0)
 	ks := borrowKernelScratch()
 	defer ks.release()
 	out := make([]*Image, len(corners))

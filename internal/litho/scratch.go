@@ -2,8 +2,10 @@ package litho
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"postopc/internal/geom"
+	"postopc/internal/obs"
 )
 
 // Scratch pooling for the imaging kernels. A single window simulation
@@ -20,6 +22,45 @@ import (
 // unspecified contents; every consumer fully overwrites or zeroes before
 // reading, which also keeps results independent of pool history.
 
+// poolCounters are the telemetry handles of the package-level scratch
+// pools: borrow/return counters whose difference is the number of buffers
+// currently checked out (a leak detector — in steady state the balance is
+// the number of in-flight simulations).
+type poolCounters struct {
+	borrows, returns *obs.Counter
+}
+
+// poolObs holds the active pool telemetry; an atomic pointer so
+// InstrumentPools is safe to call while concurrent workers borrow. A nil
+// pointer (the default) costs one atomic load per borrow/return.
+var poolObs atomic.Pointer[poolCounters]
+
+// InstrumentPools attaches telemetry to the package's scratch pools
+// (kernel scratch and mask rasters): "litho.pool_borrows_total" and
+// "litho.pool_returns_total". A nil or disabled sink detaches.
+func InstrumentPools(sink *obs.Sink) {
+	if !sink.Enabled() {
+		poolObs.Store(nil)
+		return
+	}
+	poolObs.Store(&poolCounters{
+		borrows: sink.Counter("litho.pool_borrows_total"),
+		returns: sink.Counter("litho.pool_returns_total"),
+	})
+}
+
+func poolBorrowed() {
+	if pc := poolObs.Load(); pc != nil {
+		pc.borrows.Inc()
+	}
+}
+
+func poolReturned() {
+	if pc := poolObs.Load(); pc != nil {
+		pc.returns.Inc()
+	}
+}
+
 // kernelScratch carries the per-call work buffers of both kernels.
 type kernelScratch struct {
 	acc   []float64 // Abbe: weighted intensity accumulator (padded grid)
@@ -34,10 +75,14 @@ type kernelScratch struct {
 var kernelScratchPool = sync.Pool{New: func() interface{} { return new(kernelScratch) }}
 
 func borrowKernelScratch() *kernelScratch {
+	poolBorrowed()
 	return kernelScratchPool.Get().(*kernelScratch)
 }
 
-func (s *kernelScratch) release() { kernelScratchPool.Put(s) }
+func (s *kernelScratch) release() {
+	poolReturned()
+	kernelScratchPool.Put(s)
+}
 
 // growFloats returns a slice of length n, reusing s when its capacity
 // allows. Contents are unspecified.
@@ -54,6 +99,7 @@ func growFloats(s []float64, n int) []float64 {
 var rasterPool sync.Pool
 
 func borrowRaster(window geom.Rect, pixel geom.Coord) *geom.Raster {
+	poolBorrowed()
 	ra, _ := rasterPool.Get().(*geom.Raster)
 	if ra == nil {
 		ra = new(geom.Raster)
@@ -67,6 +113,7 @@ func borrowRaster(window geom.Rect, pixel geom.Coord) *geom.Raster {
 // afterwards. Safe to call with nil.
 func RecycleRaster(ra *geom.Raster) {
 	if ra != nil {
+		poolReturned()
 		rasterPool.Put(ra)
 	}
 }

@@ -1,0 +1,27 @@
+package obs
+
+import "time"
+
+// The telemetry clock: monotonic nanoseconds since process start. The
+// detrand analyzer bans time.Now from library code because wall-clock
+// input silently breaks the parallel==serial reproducibility contract;
+// telemetry is the one sanctioned exception — timestamps feed traces and
+// latency histograms only, never any computed result — so the read is
+// confined to this file and suppressed explicitly.
+
+// epoch anchors Monotonic; time.Time carries a monotonic reading, so Sub
+// is immune to wall-clock steps.
+var epoch = sysNow()
+
+// sysNow reads the system clock. Telemetry-only: nothing derived from it
+// may reach an algorithm or artifact (see the package determinism
+// contract).
+func sysNow() time.Time {
+	return time.Now() //postopc:nolint detrand
+}
+
+// Monotonic returns nanoseconds elapsed since process start on the
+// monotonic clock.
+func Monotonic() int64 {
+	return int64(sysNow().Sub(epoch))
+}

@@ -1,0 +1,92 @@
+// Package obs is the run-telemetry layer of the flow–cache–kernel stack:
+// a metrics registry (atomic counters, gauges and fixed-bucket latency
+// histograms with zero-alloc hot-path updates and deterministic snapshot
+// order), span tracing with monotonic timestamps and explicit parent IDs
+// (exportable as Chrome trace-event JSON and as a report.Table summary),
+// and the HTTP plumbing to expose both (Prometheus text format and expvar
+// JSON).
+//
+// Everything hangs off a Sink, and the zero value is a no-op: a nil *Sink
+// — and every handle resolved through one — is safe to use and does
+// nothing, so instrumented code carries no conditionals and library
+// packages never need to know whether telemetry is on.
+//
+// Determinism contract: telemetry must never perturb results. Metric and
+// span updates only ever write to telemetry state — never to anything an
+// algorithm reads — and the clock they read (see clock.go) is confined to
+// this package, so a run with a Sink attached is byte-identical to a run
+// without one at any worker count (the flow's TestRunObsDeterminism
+// asserts this end to end). Snapshots are sorted by metric name, so
+// exports are reproducible even though registration order is
+// schedule-dependent.
+//
+// Naming conventions: metric names are lower-case dotted paths,
+// "subsystem.metric", with the unit as a suffix — "_total" for counters,
+// "_ns" for latency histograms (nanoseconds), bare nouns for gauges
+// ("cache.entries"). The Prometheus exporter maps them to
+// "postopc_subsystem_metric" series.
+package obs
+
+// Sink bundles the telemetry backends of one run. Either field may be nil
+// to disable that half; a nil *Sink disables everything. Handles resolved
+// from a disabled Sink are nil and no-ops, so callers resolve once and use
+// unconditionally.
+type Sink struct {
+	// Metrics receives counter/gauge/histogram updates.
+	Metrics *Registry
+	// Trace receives completed spans.
+	Trace *Tracer
+}
+
+// NewSink returns a Sink with both a metrics registry and a tracer.
+func NewSink() *Sink {
+	return &Sink{Metrics: NewRegistry(), Trace: NewTracer()}
+}
+
+// Enabled reports whether any backend is attached.
+func (s *Sink) Enabled() bool {
+	return s != nil && (s.Metrics != nil || s.Trace != nil)
+}
+
+// Counter resolves a counter handle (nil, a no-op, when disabled).
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil || s.Metrics == nil {
+		return nil
+	}
+	return s.Metrics.Counter(name)
+}
+
+// Gauge resolves a gauge handle (nil, a no-op, when disabled).
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil || s.Metrics == nil {
+		return nil
+	}
+	return s.Metrics.Gauge(name)
+}
+
+// LatencyHistogram resolves a histogram handle over the default latency
+// buckets (nil, a no-op, when disabled). Observations are nanoseconds.
+func (s *Sink) LatencyHistogram(name string) *Histogram {
+	if s == nil || s.Metrics == nil {
+		return nil
+	}
+	return s.Metrics.Histogram(name, LatencyBuckets)
+}
+
+// Start opens a root span (a zero Span, a no-op, when tracing is
+// disabled).
+func (s *Sink) Start(name string) Span {
+	if s == nil || s.Trace == nil {
+		return Span{}
+	}
+	return s.Trace.Start(name, 0)
+}
+
+// StartChild opens a span with an explicit parent (pass parent 0 for a
+// root).
+func (s *Sink) StartChild(name string, parent SpanID) Span {
+	if s == nil || s.Trace == nil {
+		return Span{}
+	}
+	return s.Trace.Start(name, parent)
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil handle is a no-op,
+// so instrumented hot paths update unconditionally; a live increment is a
+// single atomic add — no locks, no allocation.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for the nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. The nil handle is a no-op; a
+// live update is a single atomic store of the float's bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 for the nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// LatencyBuckets are the default histogram bounds for duration metrics, in
+// nanoseconds: roughly half-decade steps from 1µs to 10s. Latencies below
+// the first bound land in bucket 0; anything past the last bound lands in
+// the implicit +Inf bucket.
+var LatencyBuckets = []float64{
+	1e3, 3.2e3, 1e4, 3.2e4, 1e5, 3.2e5, 1e6, 3.2e6, 1e7, 3.2e7, 1e8, 3.2e8, 1e9, 3.2e9, 1e10,
+}
+
+// Histogram is a fixed-bucket distribution. Bounds are upper bucket edges
+// (ascending); counts[len(bounds)] is the +Inf bucket. The nil handle is a
+// no-op; a live observation is a branch-free walk over at most len(bounds)
+// comparisons plus two atomic adds — no locks, no allocation.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// StartTimer returns a start mark for ObserveSince, without reading the
+// clock when the handle is disabled.
+func (h *Histogram) StartTimer() int64 {
+	if h == nil {
+		return 0
+	}
+	return Monotonic()
+}
+
+// ObserveSince records the nanoseconds elapsed since a StartTimer mark.
+func (h *Histogram) ObserveSince(start int64) {
+	if h == nil {
+		return
+	}
+	h.Observe(float64(Monotonic() - start))
+}
+
+// Registry holds the named metrics of one run. Metrics are created on
+// first resolution and live for the registry's lifetime; resolving the
+// same name again returns the same handle. Resolution takes a lock —
+// callers resolve once at setup and keep the handle out of hot loops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if absent.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// if absent. Bounds must be ascending; a histogram resolved twice keeps
+// its original bounds (mismatched re-registration panics — metric names
+// identify one distribution).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+		return h
+	}
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+	}
+	return h
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string
+	Value float64
+}
+
+// HistogramValue is one histogram in a snapshot. Counts has one entry per
+// bound plus the trailing +Inf bucket.
+type HistogramValue struct {
+	Name   string
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot is a point-in-time copy of every metric, each section sorted by
+// name — the deterministic order every exporter renders.
+type Snapshot struct {
+	Counters   []CounterValue
+	Gauges     []GaugeValue
+	Histograms []HistogramValue
+}
+
+// Snapshot copies the registry. Concurrent updates may or may not be
+// included (each metric is read atomically); the ordering is always
+// sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hv := HistogramValue{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Count:  h.count.Load(),
+			Sum:    math.Float64frombits(h.sumBits.Load()),
+		}
+		for i := range h.counts {
+			hv.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+)
+
+// HTTP exposure: Handler serves a registry over two conventional
+// endpoints — Prometheus text format at /metrics and expvar-style JSON at
+// /debug/vars (the stock expvar handler, with the registry published as
+// the "postopc" variable). CLIs mount it with -metrics :port; the pprof
+// endpoints come from net/http/pprof on the CLI side.
+
+// publishOnce guards expvar.Publish, which panics on duplicate names; the
+// registry behind the variable is swappable so tests and successive
+// Handler calls stay safe.
+var (
+	publishOnce sync.Once
+	publishMu   sync.Mutex
+	publishReg  *Registry
+)
+
+// publishExpvar exposes reg's snapshot as the expvar variable "postopc".
+func publishExpvar(reg *Registry) {
+	publishMu.Lock()
+	publishReg = reg
+	publishMu.Unlock()
+	publishOnce.Do(func() {
+		expvar.Publish("postopc", expvar.Func(func() interface{} {
+			publishMu.Lock()
+			r := publishReg
+			publishMu.Unlock()
+			if r == nil {
+				return Snapshot{}
+			}
+			return r.Snapshot()
+		}))
+	})
+}
+
+// Handler returns an http.Handler serving reg at /metrics (Prometheus
+// text format) and /debug/vars (expvar JSON including the registry
+// snapshot under "postopc").
+func Handler(reg *Registry) http.Handler {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, reg.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"postopc/internal/report"
+)
+
+// SpanID identifies one span within a Tracer. IDs are allocated from an
+// atomic counter, so they are unique but — like any timing artifact —
+// schedule-dependent; nothing downstream of a trace may feed back into
+// results.
+type SpanID uint64
+
+// SpanEvent is one completed span.
+type SpanEvent struct {
+	// Name is the span name ("stage.opc").
+	Name string
+	// ID is the span's identity; Parent is the explicit parent span (0 for
+	// roots).
+	ID, Parent SpanID
+	// Start is the span's opening time (monotonic nanoseconds since
+	// process start); Dur its length in nanoseconds.
+	Start, Dur int64
+}
+
+// Tracer records completed spans. Safe for concurrent use; the zero-ish
+// nil *Tracer is a no-op.
+type Tracer struct {
+	next atomic.Uint64
+
+	mu     sync.Mutex
+	events []SpanEvent
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Start opens a span. End it to record it; an unfinished span is never
+// exported.
+func (t *Tracer) Start(name string, parent SpanID) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{
+		tracer: t,
+		id:     SpanID(t.next.Add(1)),
+		parent: parent,
+		name:   name,
+		start:  Monotonic(),
+	}
+}
+
+// Span is one in-flight span. The zero Span (from a disabled tracer) is a
+// no-op: ID returns 0 and End does nothing.
+type Span struct {
+	tracer *Tracer
+	id     SpanID
+	parent SpanID
+	name   string
+	start  int64
+}
+
+// ID returns the span's identity, for parenting children (0 when
+// disabled — children of a disabled span become roots, which is
+// consistent because they are never recorded either).
+func (sp Span) ID() SpanID { return sp.id }
+
+// End records the span.
+func (sp Span) End() {
+	if sp.tracer == nil {
+		return
+	}
+	ev := SpanEvent{Name: sp.name, ID: sp.id, Parent: sp.parent, Start: sp.start, Dur: Monotonic() - sp.start}
+	sp.tracer.mu.Lock()
+	sp.tracer.events = append(sp.tracer.events, ev)
+	sp.tracer.mu.Unlock()
+}
+
+// Events returns a copy of the completed spans, sorted by start time (ID
+// breaks ties) so the export order is stable for a given recording.
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanEvent(nil), t.events...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// chromeTraceEvent is one entry of the Chrome trace-event format ("X" =
+// complete event). Timestamps and durations are microseconds.
+type chromeTraceEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Args chromeTraceArgs `json:"args"`
+}
+
+type chromeTraceArgs struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent"`
+}
+
+// chromeTrace is the object-form trace file chrome://tracing (and Perfetto)
+// load.
+type chromeTrace struct {
+	TraceEvents     []chromeTraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string             `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace emits the recorded spans as Chrome trace-event JSON,
+// loadable in chrome://tracing or Perfetto. Every span is a complete ("X")
+// event; the explicit span/parent IDs ride along in args.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := chromeTrace{TraceEvents: make([]chromeTraceEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	for _, ev := range events {
+		out.TraceEvents = append(out.TraceEvents, chromeTraceEvent{
+			Name: ev.Name,
+			Ph:   "X",
+			Ts:   float64(ev.Start) / 1e3,
+			Dur:  float64(ev.Dur) / 1e3,
+			Pid:  1,
+			Tid:  1,
+			Args: chromeTraceArgs{ID: uint64(ev.ID), Parent: uint64(ev.Parent)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// SummaryTable renders the per-span-name aggregate — count, total, p50 and
+// p99 duration — as a report table, one row per name, sorted by total time
+// descending (name breaks ties).
+func (t *Tracer) SummaryTable() *report.Table {
+	type agg struct {
+		name string
+		durs []int64
+		tot  int64
+	}
+	byName := map[string]*agg{}
+	for _, ev := range t.Events() {
+		a, ok := byName[ev.Name]
+		if !ok {
+			a = &agg{name: ev.Name}
+			byName[ev.Name] = a
+		}
+		a.durs = append(a.durs, ev.Dur)
+		a.tot += ev.Dur
+	}
+	rows := make([]*agg, 0, len(byName))
+	for _, a := range byName {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].tot != rows[j].tot {
+			return rows[i].tot > rows[j].tot
+		}
+		return rows[i].name < rows[j].name
+	})
+	tb := report.NewTable("span summary", "span", "count", "total(ms)", "p50(ms)", "p99(ms)")
+	for _, a := range rows {
+		sort.Slice(a.durs, func(i, j int) bool { return a.durs[i] < a.durs[j] })
+		tb.AddF(3, a.name, len(a.durs),
+			float64(a.tot)/1e6,
+			float64(percentileNS(a.durs, 0.50))/1e6,
+			float64(percentileNS(a.durs, 0.99))/1e6)
+	}
+	return tb
+}
+
+// percentileNS is the p-quantile of sorted durations by linear
+// interpolation between order statistics (the same estimator the
+// statistical-timing path uses).
+func percentileNS(sorted []int64, p float64) int64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	x := p * float64(n-1)
+	i := int(x)
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := x - float64(i)
+	return sorted[i] + int64(frac*float64(sorted[i+1]-sorted[i]))
+}

@@ -7,18 +7,23 @@
 // callers write results into index-addressed slots, so the assembled output
 // is independent of worker count and scheduling. On failure the error of
 // the lowest failing index is returned — the same error a serial loop
-// would surface — regardless of which worker hit it first.
+// would surface — regardless of which worker hit it first. Telemetry (the
+// Obs option) observes the schedule without influencing it: it only ever
+// writes counters and histograms.
 package par
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"postopc/internal/obs"
 )
 
 // Options configure one fan-out run.
 type Options struct {
 	workers int
+	sink    *obs.Sink
 }
 
 // Option mutates Options.
@@ -28,6 +33,36 @@ type Option func(*Options)
 // runtime.GOMAXPROCS(0); n == 1 degrades to a plain serial loop.
 func Workers(n int) Option {
 	return func(o *Options) { o.workers = n }
+}
+
+// Obs attaches telemetry to the fan-out: per-worker busy time
+// ("par.worker_busy_ns"), per-worker scheduling overhead — wall time not
+// spent in fn — ("par.queue_wait_ns"), an items-per-worker gauge and an
+// items counter. A nil or disabled sink records nothing.
+func Obs(sink *obs.Sink) Option {
+	return func(o *Options) { o.sink = sink }
+}
+
+// poolMetrics are the resolved telemetry handles of one ForEach run. The
+// zero value (disabled sink) is free: every handle is nil and the timing
+// reads are skipped.
+type poolMetrics struct {
+	busy  *obs.Histogram
+	wait  *obs.Histogram
+	items *obs.Counter
+	load  *obs.Gauge
+}
+
+func newPoolMetrics(sink *obs.Sink) poolMetrics {
+	if !sink.Enabled() {
+		return poolMetrics{}
+	}
+	return poolMetrics{
+		busy:  sink.LatencyHistogram("par.worker_busy_ns"),
+		wait:  sink.LatencyHistogram("par.queue_wait_ns"),
+		items: sink.Counter("par.items_total"),
+		load:  sink.Gauge("par.items_per_worker"),
+	}
 }
 
 // ForEach invokes fn(i) for every i in [0, n), running at most the
@@ -54,12 +89,19 @@ func ForEach(n int, fn func(i int) error, opts ...Option) error {
 	if workers > n {
 		workers = n
 	}
+	met := newPoolMetrics(o.sink)
+	met.load.Set(float64(n) / float64(workers))
 	if workers == 1 {
+		t0 := met.busy.StartTimer()
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
+				met.busy.ObserveSince(t0)
+				met.items.Add(uint64(i + 1))
 				return err
 			}
 		}
+		met.busy.ObserveSince(t0)
+		met.items.Add(uint64(n))
 		return nil
 	}
 	errs := make([]error, n)
@@ -70,6 +112,14 @@ func ForEach(n int, fn func(i int) error, opts ...Option) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			wall := met.busy.StartTimer()
+			var busy int64
+			defer func() {
+				if met.busy != nil {
+					met.busy.Observe(float64(busy))
+					met.wait.Observe(float64(obs.Monotonic() - wall - busy))
+				}
+			}()
 			for {
 				// The failure check precedes the claim: a claimed index
 				// always runs. Claims ascend, so when the first-completing
@@ -83,7 +133,13 @@ func ForEach(n int, fn func(i int) error, opts ...Option) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				t0 := met.busy.StartTimer()
+				err := fn(i)
+				if met.busy != nil {
+					busy += obs.Monotonic() - t0
+				}
+				met.items.Inc()
+				if err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}

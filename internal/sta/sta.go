@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"postopc/internal/netlist"
+	"postopc/internal/obs"
 	"postopc/internal/stdcell"
 	"postopc/internal/timinglib"
 )
@@ -53,6 +54,23 @@ type Graph struct {
 	conns map[string]*netlist.Conn
 	cells []*stdcell.Info // per gate
 	topo  []int           // combinational gates in topological order
+
+	// Telemetry handles (see Instrument); nil on an uninstrumented graph.
+	// Write-only: telemetry never alters an analysis result.
+	cAnalyses *obs.Counter
+	hAnalyze  *obs.Histogram
+	hArrival  *obs.Histogram
+}
+
+// Instrument attaches telemetry to the graph: an analyses counter
+// ("sta.analyses_total"), whole-Analyze latency ("sta.analyze_ns") and the
+// arrival-propagation inner phase ("sta.arrival_propagation_ns"). Call
+// before the graph is shared between workers (Monte Carlo runs Analyze
+// concurrently); a nil or disabled sink is a no-op.
+func (g *Graph) Instrument(sink *obs.Sink) {
+	g.cAnalyses = sink.Counter("sta.analyses_total")
+	g.hAnalyze = sink.LatencyHistogram("sta.analyze_ns")
+	g.hArrival = sink.LatencyHistogram("sta.arrival_propagation_ns")
 }
 
 // Build constructs and levelizes the timing graph.
@@ -216,6 +234,9 @@ func (p Path) Gates() []string {
 
 // Analyze runs STA under the given annotations.
 func (g *Graph) Analyze(cfg Config, ann Annotations) (*Result, error) {
+	tA := g.hAnalyze.StartTimer()
+	defer g.hAnalyze.ObserveSince(tA)
+	g.cAnalyses.Inc()
 	if cfg.KPaths <= 0 {
 		cfg.KPaths = 10
 	}
@@ -277,6 +298,7 @@ func (g *Graph) Analyze(cfg Config, ann Annotations) (*Result, error) {
 	}
 
 	// Propagate through combinational gates in topological order.
+	tP := g.hArrival.StartTimer()
 	for _, gi := range g.topo {
 		gate := n.Gates[gi]
 		cell := g.cells[gi]
@@ -312,6 +334,7 @@ func (g *Graph) Analyze(cfg Config, ann Annotations) (*Result, error) {
 		}
 		res.arr[outNet] = out
 	}
+	g.hArrival.ObserveSince(tP)
 
 	// Endpoints: primary outputs and flop D pins.
 	addEndpoint := func(name, net string, required float64) {
