@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-smoke bench-kernel bench-obs check
+.PHONY: build test vet lint race bench bench-smoke bench-kernel bench-obs bench-sta check
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,10 @@ lint:
 test:
 	$(GO) test ./...
 
+# Explicit timeout: the flow suite alone runs ~9-10 min under the
+# detector, right at go test's 600s per-binary default.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 1800s ./...
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
@@ -41,6 +43,12 @@ bench-kernel:
 # once. Reference numbers: BENCH_obs.json.
 bench-obs:
 	$(GO) test -run='TestDisabledSinkZeroAlloc|TestEnabledCounterZeroAlloc' -bench=ObsOverhead -benchtime=1x -benchmem ./internal/obs/
+
+# Multi-corner STA smoke: one iteration of the process-window sign-off
+# bench on the -short datapath block (full vs incremental re-analysis,
+# single corner and whole grid). Reference numbers: BENCH_sta.json.
+bench-sta:
+	$(GO) test -short -run=NONE -bench=MultiCornerSTA -benchtime=1x .
 
 # The full pre-merge gate: compile everything, vet, run the domain lint
 # suite, run the tests, then run them again under the race detector (the

@@ -26,6 +26,7 @@ import (
 	"postopc/internal/report"
 	"postopc/internal/route"
 	"postopc/internal/sta"
+	"postopc/internal/stdcell"
 	"postopc/internal/timinglib"
 )
 
@@ -792,6 +793,126 @@ func BenchmarkAblation_ORCWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := f.flw.VerifyChip(pl.Chip, flow.ORCOptions{Mode: flow.OPCModel, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// fabricateExtractions builds synthetic post-OPC extractions for the given
+// gates: real site names and drawn lengths from the cell library, with a
+// deterministic per-gate CD response at the four VariationCorners. The
+// multi-corner STA benches are about the timing engine, not litho — this
+// stands in for an ExtractGates pass at a tiny fraction of its cost.
+func fabricateExtractions(b *testing.B, lib *stdcell.Library, nl *netlist.Netlist,
+	gates []string, corners []litho.Corner) map[string]*flow.GateExtraction {
+	b.Helper()
+	exts := map[string]*flow.GateExtraction{}
+	for i, name := range gates {
+		gi := nl.FindGate(name)
+		if gi < 0 {
+			b.Fatalf("tagged gate %s not in netlist", name)
+		}
+		cell := nl.Gates[gi].Cell
+		info, err := lib.Get(cell)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := &flow.GateExtraction{Gate: name, Cell: cell, Mode: flow.OPCModel}
+		for si, site := range info.Layout.Gates {
+			// Deterministic, site- and gate-dependent response: a nominal
+			// bias plus distinct defocus and dose sensitivities.
+			d0 := float64(site.L()) + 1.2 + 0.15*float64((i+si)%7)
+			mk := func(c litho.Corner, delay, leak float64) flow.CornerCD {
+				return flow.CornerCD{Corner: c, MeanCD: delay, Nonuniformity: 1.5,
+					DelayEL: delay, LeakEL: leak, Printed: true}
+			}
+			e.Sites = append(e.Sites, flow.SiteCD{
+				LocalName: site.Name, Kind: site.Kind, DrawnL: float64(site.L()),
+				PerCorner: []flow.CornerCD{
+					mk(corners[0], d0, d0-0.6),
+					mk(corners[1], d0+2.5, d0+1.4),
+					mk(corners[2], d0+1.6, d0+0.9),
+					mk(corners[3], d0-1.6, d0-0.9),
+				},
+			})
+		}
+		exts[name] = e
+	}
+	return exts
+}
+
+// BenchmarkMultiCornerSTA measures multi-corner process-window sign-off on
+// the repeated-context datapath chip (DatapathRegular, the cache bench's
+// strip design): a full analysis per corner vs incremental re-analysis from
+// the nominal baseline, as single analyses and over the whole (defocus ×
+// dose × guardband) grid, serial and corner-parallel. Only the tagged
+// critical gates carry annotations — the TagTopK regime the incremental
+// engine exploits. Reference numbers: BENCH_sta.json.
+func BenchmarkMultiCornerSTA(b *testing.B) {
+	f := getFixtures(b)
+	chains, depth := 64, 10
+	if testing.Short() {
+		chains, depth = 12, 3
+	}
+	nl := netlist.DatapathRegular(chains, depth, 3)
+	g, err := f.flw.BuildGraph(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe, err := g.Analyze(sta.DefaultConfig(100000), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sta.DefaultConfig(1.03 * (100000 - probe.WNS))
+	cfg.KPaths = 10
+	drawn, err := g.Analyze(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tagged := drawn.CriticalGates(4)
+	exts := fabricateExtractions(b, f.flw.Lib, nl, tagged, flow.VariationCorners(f.kit.Window))
+	vm, err := flow.BuildVariationModel(exts, f.kit.Window, f.kit.Device.SigmaLRandomNM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gridOpt := flow.MultiCornerSTAOptions{DefocusSteps: 2, DoseSteps: 1, GuardbandKSigma: 3}
+	grid := vm.CornerGrid(gridOpt)
+	base, err := g.Analyze(cfg, grid[0].Ann)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ann := grid[len(grid)-2].Ann // a non-trivial grid corner
+	fmt.Fprintf(stdout, "# multi-corner bench: %s, %d gates, %d tagged, %d corners\n",
+		nl.Name, len(nl.Gates), len(tagged), len(grid))
+
+	b.Run("analyze/full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Analyze(cfg, ann); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("analyze/incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.AnalyzeIncremental(cfg, ann, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mcOpts := []struct {
+		name string
+		opt  sta.MultiCornerOptions
+	}{
+		{"grid/full-serial", sta.MultiCornerOptions{Full: true, Workers: 1}},
+		{"grid/incremental-serial", sta.MultiCornerOptions{Workers: 1}},
+		{"grid/incremental-parallel", sta.MultiCornerOptions{}},
+	}
+	for _, m := range mcOpts {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := g.MultiCorner(cfg, grid, m.opt); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -8,6 +8,7 @@
 //	postopc-sta -design mult -size 4 -clock 2200
 //	postopc-sta -netlist design.v -clock 1800 -mode model -topk 10
 //	postopc-sta -design rca -size 8 -clock 2600 -mc 500
+//	postopc-sta -design rca -size 8 -corners -defocus-steps 3 -dose-steps 2
 //	postopc-sta -design rca -size 8 -trace run.json -metrics metrics.prom
 package main
 
@@ -35,6 +36,9 @@ func main() {
 	fast := flag.Bool("fast", false, "verify with the fast Gaussian model instead of Abbe")
 	topk := flag.Int("topk", 0, "extract only gates on the K worst drawn paths (0 = all)")
 	mc := flag.Int("mc", 0, "Monte Carlo samples over the process window (0 = skip)")
+	corners := flag.Bool("corners", false, "multi-corner sign-off: merged worst slack over the (defocus x dose) grid plus a 3-sigma guardband corner")
+	defocusSteps := flag.Int("defocus-steps", 2, "defocus grid points beyond nominal for -corners")
+	doseSteps := flag.Int("dose-steps", 1, "dose grid points on each side of nominal for -corners")
 	kpaths := flag.Int("paths", 5, "worst paths to report")
 	orc := flag.Bool("orc", false, "run full-chip ORC (hotspot scan) after the flow")
 	contacts := flag.Bool("contacts", false, "multi-layer extraction: annotate contact resistance too")
@@ -213,12 +217,30 @@ func main() {
 		}
 	}
 
-	if *mc > 0 {
-		vm, err := flow.BuildVariationModel(res.Extractions, p.Window, p.Device.SigmaLRandomNM)
+	var vm *flow.VariationModel
+	if *mc > 0 || *corners {
+		vm, err = flow.BuildVariationModel(res.Extractions, p.Window, p.Device.SigmaLRandomNM)
 		if err != nil {
 			fatal(err)
 		}
 		vm.Obs = tel.Sink
+	}
+
+	if *corners {
+		mcr, err := f.MultiCornerSTA(res.Graph, cfg, vm, flow.MultiCornerSTAOptions{
+			DefocusSteps:    *defocusSteps,
+			DoseSteps:       *doseSteps,
+			GuardbandKSigma: 3,
+			Workers:         *jobs,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		mcr.SummaryTable().Fprint(os.Stdout)
+		mcr.MergedTable(10).Fprint(os.Stdout)
+	}
+
+	if *mc > 0 {
 		mcr, err := vm.MonteCarloWorkers(res.Graph, cfg, *mc, 1, *jobs)
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,83 @@
+package flow
+
+import (
+	"fmt"
+
+	"postopc/internal/sta"
+)
+
+// MultiCornerSTAOptions shape the process-corner grid a multi-corner
+// sign-off analyzes.
+type MultiCornerSTAOptions struct {
+	// DefocusSteps is the number of defocus grid points beyond nominal,
+	// spread evenly over (0, PW.DefocusNM]. 0 keeps focus nominal.
+	DefocusSteps int
+	// DoseSteps is the number of dose grid points on EACH side of nominal,
+	// spread evenly over (1−Δd, 1+Δd). 0 keeps dose nominal.
+	DoseSteps int
+	// GuardbandKSigma, when > 0, appends the classic pessimistic corner
+	// (VariationModel.SlowCorner at that sigma) to the grid — the
+	// worst-case assumption the paper's realistic grid is measured
+	// against.
+	GuardbandKSigma float64
+	// Workers bounds corner-level concurrency (0 = GOMAXPROCS, 1 =
+	// serial). Results are identical for any value.
+	Workers int
+	// Full forces a full analysis per corner instead of incremental
+	// re-analysis from the nominal baseline (see sta.MultiCornerOptions).
+	Full bool
+}
+
+// CornerGrid materializes the corner set for the options: the nominal
+// process point first (it seeds the incremental engine and should carry the
+// smallest deltas), then the (defocus × dose) grid in deterministic
+// defocus-major order, then the optional guardband corner. Corner names
+// encode the grid point ("f+080/d0.975"); the random CD component is left
+// off — corners are systematic process excursions, Monte Carlo owns the
+// random part.
+func (vm *VariationModel) CornerGrid(opt MultiCornerSTAOptions) []sta.CornerSpec {
+	corners := []sta.CornerSpec{{Name: "nominal", Ann: vm.Annotations(0, 1, nil)}}
+	focus := []float64{0}
+	for i := 1; i <= opt.DefocusSteps; i++ {
+		focus = append(focus, vm.PW.DefocusNM*float64(i)/float64(opt.DefocusSteps))
+	}
+	dose := []float64{1}
+	for i := 1; i <= opt.DoseSteps; i++ {
+		d := vm.PW.DoseFrac * float64(i) / float64(opt.DoseSteps)
+		dose = append(dose, 1-d, 1+d)
+	}
+	for _, fv := range focus {
+		for _, dv := range dose {
+			if fv == 0 && dv == 1 {
+				continue // nominal already leads the set
+			}
+			corners = append(corners, sta.CornerSpec{
+				Name: fmt.Sprintf("f%+04.0f/d%.3f", fv, dv),
+				Ann:  vm.Annotations(fv, dv, nil),
+			})
+		}
+	}
+	if opt.GuardbandKSigma > 0 {
+		corners = append(corners, sta.CornerSpec{
+			Name: fmt.Sprintf("guard%+.1fs", opt.GuardbandKSigma),
+			Ann:  vm.SlowCorner(opt.GuardbandKSigma),
+		})
+	}
+	return corners
+}
+
+// MultiCornerSTA runs multi-corner process-window sign-off: the variation
+// model is evaluated on the (defocus × dose) grid, every corner is analyzed
+// — nominal in full, the rest incrementally from it, fanned out
+// corner-parallel — and the merged worst-slack view is returned. The output
+// is byte-identical at any worker count, with or without the pattern cache,
+// and with Full either way.
+func (f *Flow) MultiCornerSTA(g *sta.Graph, cfg sta.Config, vm *VariationModel, opt MultiCornerSTAOptions) (*sta.MultiCornerResult, error) {
+	sp := f.Obs.Start("flow.multicorner")
+	defer sp.End()
+	return g.MultiCorner(cfg, vm.CornerGrid(opt), sta.MultiCornerOptions{
+		Workers: opt.Workers,
+		Full:    opt.Full,
+		Obs:     f.Obs,
+	})
+}

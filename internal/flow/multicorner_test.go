@@ -1,0 +1,171 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"postopc/internal/netlist"
+	"postopc/internal/sta"
+)
+
+// renderMultiCorner serializes a merged multi-corner result at full float
+// precision: two runs agree on this string iff they agree bit-for-bit.
+func renderMultiCorner(mc *sta.MultiCornerResult) string {
+	var b strings.Builder
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fmt.Fprintf(&b, "WNS=%s TNS=%s\n", g(mc.WNS), g(mc.TNS))
+	for _, c := range mc.Corners {
+		fmt.Fprintf(&b, "corner %s WNS=%s TNS=%s leak=%s\n", c.Name, g(c.Res.WNS), g(c.Res.TNS), g(c.Res.LeakNW))
+		for _, ep := range c.Res.Endpoints {
+			fmt.Fprintf(&b, "  %s a=%s r=%s s=%s rise=%v\n", ep.Name, g(ep.ArrivalPS), g(ep.RequiredPS), g(ep.SlackPS), ep.Rise)
+		}
+		for _, p := range c.Res.Paths {
+			fmt.Fprintf(&b, "  path %s s=%s:", p.Endpoint, g(p.SlackPS))
+			for _, pt := range p.Points {
+				fmt.Fprintf(&b, " %s/%v@%s", pt.Net, pt.Rise, g(pt.ArrivalPS))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, m := range mc.Merged {
+		fmt.Fprintf(&b, "merged %s s=%s a=%s r=%s from=%s\n", m.Name, g(m.SlackPS), g(m.ArrivalPS), g(m.RequiredPS), m.Corner)
+	}
+	return b.String()
+}
+
+// TestMultiCornerIncrementalDeterminism is the tentpole's hard requirement:
+// the merged multi-corner output must be byte-identical at one, four and
+// GOMAXPROCS corner workers, with the pattern cache on and off, and whether
+// every corner is analyzed in full or incrementally from the nominal
+// baseline.
+func TestMultiCornerIncrementalDeterminism(t *testing.T) {
+	// A repeated-context chain keeps the two pipeline legs (cache off/on)
+	// affordable under -race; the corner grid and engine matrix are the
+	// point of the test, not extraction breadth.
+	design := netlist.InverterChain(6)
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	cacheModes := []bool{false, true}
+	if raceEnabled {
+		// Each cache mode pays one full pipeline run; under the race
+		// detector one (cached — it exercises the single-flight and worker
+		// fan-out races) keeps the package inside go test's default
+		// timeout. The corner-engine matrix below stays complete.
+		cacheModes = []bool{true}
+	}
+	opt := MultiCornerSTAOptions{DefocusSteps: 2, DoseSteps: 1, GuardbandKSigma: 3}
+	var want string
+	for _, cached := range cacheModes {
+		f := newFastFlow(t)
+		if cached {
+			f.EnableCache(0)
+		}
+		res, err := f.Run(design, RunOptions{
+			STA:     sta.DefaultConfig(1500),
+			Mode:    OPCModel,
+			Corners: VariationCorners(f.PDK.Window),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, err := BuildVariationModel(res.Extractions, f.PDK.Window, f.PDK.Device.SigmaLRandomNM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range workerCounts {
+			for _, full := range []bool{false, true} {
+				o := opt
+				o.Workers = workers
+				o.Full = full
+				mc, err := f.MultiCornerSTA(res.Graph, sta.DefaultConfig(1500), vm, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := renderMultiCorner(mc)
+				if want == "" {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("cache=%v workers=%d full=%v: multi-corner output diverged:\n--- want ---\n%s--- got ---\n%s",
+						cached, workers, full, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestCornerGridShape locks the grid construction: nominal first, then the
+// defocus-major grid, then the guardband corner — deterministically named.
+func TestCornerGridShape(t *testing.T) {
+	res := fullRun(t)
+	f := fastFlow(t)
+	vm, err := BuildVariationModel(res.Extractions, f.PDK.Window, f.PDK.Device.SigmaLRandomNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corners := vm.CornerGrid(MultiCornerSTAOptions{DefocusSteps: 2, DoseSteps: 1, GuardbandKSigma: 3})
+	// 1 nominal + (3 focus × 3 dose − 1 nominal) + 1 guardband = 10.
+	if len(corners) != 10 {
+		var names []string
+		for _, c := range corners {
+			names = append(names, c.Name)
+		}
+		t.Fatalf("grid size = %d: %v", len(corners), names)
+	}
+	if corners[0].Name != "nominal" {
+		t.Fatalf("first corner = %q, want nominal", corners[0].Name)
+	}
+	if got := corners[len(corners)-1].Name; got != "guard+3.0s" {
+		t.Fatalf("last corner = %q, want guard+3.0s", got)
+	}
+	seen := map[string]bool{}
+	for _, c := range corners {
+		if c.Ann == nil {
+			t.Fatalf("corner %s has nil annotations", c.Name)
+		}
+		if seen[c.Name] {
+			t.Fatalf("duplicate corner name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	// No steps: nominal only.
+	if g := vm.CornerGrid(MultiCornerSTAOptions{}); len(g) != 1 || g[0].Name != "nominal" {
+		t.Fatalf("empty grid: %+v", g)
+	}
+}
+
+// TestMultiCornerGuardbandDominates checks the physics: the pessimistic
+// guardband corner must bound the realistic grid from below — its WNS is
+// the merged WNS and it dominates the critical endpoint.
+func TestMultiCornerGuardbandDominates(t *testing.T) {
+	res := fullRun(t)
+	f := fastFlow(t)
+	vm, err := BuildVariationModel(res.Extractions, f.PDK.Window, f.PDK.Device.SigmaLRandomNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := f.MultiCornerSTA(res.Graph, sta.DefaultConfig(1500), vm,
+		MultiCornerSTAOptions{DefocusSteps: 2, DoseSteps: 1, GuardbandKSigma: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := mc.Corners[len(mc.Corners)-1]
+	if !strings.HasPrefix(guard.Name, "guard") {
+		t.Fatalf("last corner = %q", guard.Name)
+	}
+	if math.Float64bits(mc.WNS) != math.Float64bits(guard.Res.WNS) {
+		t.Fatalf("merged WNS %v should equal guardband WNS %v", mc.WNS, guard.Res.WNS)
+	}
+	for _, c := range mc.Corners[:len(mc.Corners)-1] {
+		if c.Res.WNS < guard.Res.WNS {
+			t.Fatalf("corner %s (%v) worse than guardband (%v)", c.Name, c.Res.WNS, guard.Res.WNS)
+		}
+	}
+	if mc.Merged[0].Corner != guard.Name {
+		t.Fatalf("critical endpoint dominated by %s, want %s", mc.Merged[0].Corner, guard.Name)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package flow
+
+const raceEnabled = false

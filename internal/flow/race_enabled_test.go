@@ -1,0 +1,10 @@
+//go:build race
+
+package flow
+
+// raceEnabled reports whether the race detector is active; its
+// counterpart in race_disabled_test.go covers regular builds. Heavy
+// pipeline-matrix tests shrink their combinations under the detector
+// (it multiplies the litho simulation cost ~20×) — correctness of the
+// full matrix is covered by the regular suite.
+const raceEnabled = true

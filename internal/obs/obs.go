@@ -73,6 +73,16 @@ func (s *Sink) LatencyHistogram(name string) *Histogram {
 	return s.Metrics.Histogram(name, LatencyBuckets)
 }
 
+// CountHistogram resolves a histogram handle over the default count
+// buckets (nil, a no-op, when disabled). Observations are item counts —
+// gates evaluated per analysis, entries per batch.
+func (s *Sink) CountHistogram(name string) *Histogram {
+	if s == nil || s.Metrics == nil {
+		return nil
+	}
+	return s.Metrics.Histogram(name, CountBuckets)
+}
+
 // Start opens a root span (a zero Span, a no-op, when tracing is
 // disabled).
 func (s *Sink) Start(name string) Span {

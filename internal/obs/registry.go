@@ -64,6 +64,14 @@ var LatencyBuckets = []float64{
 	1e3, 3.2e3, 1e4, 3.2e4, 1e5, 3.2e5, 1e6, 3.2e6, 1e7, 3.2e7, 1e8, 3.2e8, 1e9, 3.2e9, 1e10,
 }
 
+// CountBuckets are the default histogram bounds for small-count
+// distributions (gates evaluated per analysis, items per batch): roughly
+// half-decade steps from 1 to 100k. Counts past the last bound land in the
+// implicit +Inf bucket.
+var CountBuckets = []float64{
+	1, 3, 10, 32, 100, 320, 1e3, 3.2e3, 1e4, 3.2e4, 1e5,
+}
+
 // Histogram is a fixed-bucket distribution. Bounds are upper bucket edges
 // (ascending); counts[len(bounds)] is the +Inf bucket. The nil handle is a
 // no-op; a live observation is a branch-free walk over at most len(bounds)

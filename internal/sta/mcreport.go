@@ -1,0 +1,38 @@
+package sta
+
+import (
+	"fmt"
+
+	"postopc/internal/report"
+)
+
+// SummaryTable renders the per-corner sign-off view: WNS, TNS, leakage and
+// the number of endpoints each corner dominates in the merge, followed by
+// the merged (process-window worst-case) row.
+func (m *MultiCornerResult) SummaryTable() *report.Table {
+	t := report.NewTable(fmt.Sprintf("multi-corner STA (%d corners)", len(m.Corners)),
+		"corner", "WNS(ps)", "TNS(ps)", "leak(nW)", "dominates")
+	dom := m.DominantCorners()
+	for _, c := range m.Corners {
+		t.AddF(1, c.Name, c.Res.WNS, c.Res.TNS, c.Res.LeakNW, dom[c.Name])
+	}
+	t.AddF(1, "merged worst", m.WNS, m.TNS, "", len(m.Merged))
+	return t
+}
+
+// MergedTable renders the worst-case endpoint view (critical first):
+// endpoint, merged slack, arrival and required time, and the dominant
+// corner. maxRows <= 0 renders every endpoint; otherwise the table is
+// truncated with a trailing count row.
+func (m *MultiCornerResult) MergedTable(maxRows int) *report.Table {
+	t := report.NewTable("process-window worst slack per endpoint",
+		"endpoint", "slack(ps)", "arrival(ps)", "required(ps)", "dominant corner")
+	for i, ep := range m.Merged {
+		if maxRows > 0 && i >= maxRows {
+			t.Add("...", fmt.Sprintf("(%d more)", len(m.Merged)-i))
+			break
+		}
+		t.AddF(1, ep.Name, ep.SlackPS, ep.ArrivalPS, ep.RequiredPS, ep.Corner)
+	}
+	return t
+}

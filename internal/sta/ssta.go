@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"postopc/internal/stdcell"
+	"postopc/internal/timinglib"
 )
 
 // First-order canonical statistical STA: every delay and arrival is
@@ -150,33 +151,18 @@ func (g *Graph) AnalyzeSSTA(cfg Config, params SSTAParams, arcs CanonicalArcs) (
 	}
 	n := g.Netlist
 	// Net loads from the drawn evaluation (input caps are annotation-
-	// independent in this library).
-	nomEvals := make([]map[string]float64, len(n.Gates)) // pin -> Cin
+	// independent in this library). netLoads applies the WireLoads
+	// partial-map contract: nets absent from a non-nil map fall back to
+	// the flat per-gate-sink CWireFF instead of zero wire capacitance.
+	nomEvals := make([]timinglib.Eval, len(n.Gates))
 	for gi := range n.Gates {
 		ev, err := g.TL.Evaluate(g.cells[gi], nil)
 		if err != nil {
 			return nil, err
 		}
-		nomEvals[gi] = ev.CinFF
+		nomEvals[gi] = ev
 	}
-	loads := map[string]float64{}
-	for net, c := range g.conns {
-		var l float64
-		for _, s := range c.Sinks {
-			if s.Gate < 0 {
-				l += cfg.PrimaryLoadFF
-				continue
-			}
-			l += nomEvals[s.Gate][s.Pin]
-			if cfg.WireLoads == nil {
-				l += g.TL.P.CWireFF
-			}
-		}
-		if cfg.WireLoads != nil {
-			l += cfg.WireLoads[net]
-		}
-		loads[net] = l
-	}
+	loads := g.netLoads(cfg, nomEvals)
 
 	type cArr struct {
 		r, f           Canonical
@@ -195,8 +181,8 @@ func (g *Graph) AnalyzeSSTA(cfg Config, params SSTAParams, arcs CanonicalArcs) (
 		if !ok {
 			continue
 		}
-		cR, sR := arcs.Launch(gate.Name, true, loads[qNet], cfg.InputSlewPS)
-		cF, sF := arcs.Launch(gate.Name, false, loads[qNet], cfg.InputSlewPS)
+		cR, sR := arcs.Launch(gate.Name, true, loads[g.netIdx[qNet]], cfg.InputSlewPS)
+		cF, sF := arcs.Launch(gate.Name, false, loads[g.netIdx[qNet]], cfg.InputSlewPS)
 		arr[qNet] = &cArr{r: cR, f: cF, slewR: sR, slewF: sF, validR: true, validF: true}
 	}
 
@@ -204,7 +190,7 @@ func (g *Graph) AnalyzeSSTA(cfg Config, params SSTAParams, arcs CanonicalArcs) (
 		gate := n.Gates[gi]
 		cell := g.cells[gi]
 		outNet := gate.Conn[cell.Output]
-		load := loads[outNet]
+		load := loads[g.netIdx[outNet]]
 		out := &cArr{}
 		merge := func(rise bool, c Canonical, slew float64) {
 			if rise {

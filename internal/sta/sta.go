@@ -36,6 +36,11 @@ type Config struct {
 	// WireLoads optionally supplies per-net wire capacitance (fF), e.g.
 	// placement-derived HPWL estimates (see flow.WireLoads). When nil,
 	// the flat per-sink CWireFF of the kit is used instead.
+	//
+	// Contract for partial maps: a net absent from a non-nil map is NOT
+	// timed at zero wire capacitance — it falls back to the same flat
+	// per-gate-sink CWireFF a nil map would use. Supplying an explicit
+	// zero entry is the way to declare a net wire-free.
 	WireLoads map[string]float64
 }
 
@@ -51,26 +56,54 @@ type Graph struct {
 	Lib     *stdcell.Library
 	TL      *timinglib.Lib
 
-	conns map[string]*netlist.Conn
-	cells []*stdcell.Info // per gate
-	topo  []int           // combinational gates in topological order
+	conns  map[string]*netlist.Conn
+	cells  []*stdcell.Info // per gate
+	topo   []int           // combinational gates in topological order
+	byName map[string]int  // gate instance name -> gate index
+	// inputs lists each gate's input (pin, net) pairs sorted by pin name.
+	// Propagation walks this fixed order instead of ranging over the Conn
+	// map, so arrival ties between input pins break deterministically.
+	inputs [][]pinNet
+
+	// Dense net numbering: every net gets an index into slice-shaped
+	// per-net state (arrivals, loads), assigned in sorted-name order at
+	// Build. The hot loops index slices instead of hashing net names, and
+	// an incremental baseline copy is a single memmove.
+	netIdx   map[string]int
+	netNames []string
+	connOf   []*netlist.Conn // conns re-indexed by net index
+	outIdx   []int           // per gate: output net index, -1 if unconnected
 
 	// Telemetry handles (see Instrument); nil on an uninstrumented graph.
 	// Write-only: telemetry never alters an analysis result.
-	cAnalyses *obs.Counter
-	hAnalyze  *obs.Histogram
-	hArrival  *obs.Histogram
+	cAnalyses  *obs.Counter
+	cIncr      *obs.Counter
+	cCorners   *obs.Counter
+	hAnalyze   *obs.Histogram
+	hArrival   *obs.Histogram
+	hFullEvals *obs.Histogram
+	hIncrEvals *obs.Histogram
+	hConeGates *obs.Histogram
 }
 
 // Instrument attaches telemetry to the graph: an analyses counter
-// ("sta.analyses_total"), whole-Analyze latency ("sta.analyze_ns") and the
-// arrival-propagation inner phase ("sta.arrival_propagation_ns"). Call
-// before the graph is shared between workers (Monte Carlo runs Analyze
-// concurrently); a nil or disabled sink is a no-op.
+// ("sta.analyses_total"), whole-Analyze latency ("sta.analyze_ns"), the
+// arrival-propagation inner phase ("sta.arrival_propagation_ns"), the
+// multi-corner counters ("sta.corners_total",
+// "sta.incremental_analyses_total") and the full-vs-incremental gate-eval
+// histograms ("sta.full_gate_evals", "sta.incremental_gate_evals",
+// "sta.incremental_cone_gates"). Call before the graph is shared between
+// workers (Monte Carlo and MultiCorner run Analyze concurrently); a nil or
+// disabled sink is a no-op.
 func (g *Graph) Instrument(sink *obs.Sink) {
 	g.cAnalyses = sink.Counter("sta.analyses_total")
+	g.cIncr = sink.Counter("sta.incremental_analyses_total")
+	g.cCorners = sink.Counter("sta.corners_total")
 	g.hAnalyze = sink.LatencyHistogram("sta.analyze_ns")
 	g.hArrival = sink.LatencyHistogram("sta.arrival_propagation_ns")
+	g.hFullEvals = sink.CountHistogram("sta.full_gate_evals")
+	g.hIncrEvals = sink.CountHistogram("sta.incremental_gate_evals")
+	g.hConeGates = sink.CountHistogram("sta.incremental_cone_gates")
 }
 
 // Build constructs and levelizes the timing graph.
@@ -80,18 +113,53 @@ func Build(n *netlist.Netlist, lib *stdcell.Library, tl *timinglib.Lib) (*Graph,
 		return nil, err
 	}
 	g := &Graph{Netlist: n, Lib: lib, TL: tl, conns: conns}
+	g.netNames = make([]string, 0, len(conns))
+	for net := range conns {
+		g.netNames = append(g.netNames, net)
+	}
+	sort.Strings(g.netNames)
+	g.netIdx = make(map[string]int, len(g.netNames))
+	g.connOf = make([]*netlist.Conn, len(g.netNames))
+	for i, net := range g.netNames {
+		g.netIdx[net] = i
+		g.connOf[i] = conns[net]
+	}
 	g.cells = make([]*stdcell.Info, len(n.Gates))
+	g.byName = make(map[string]int, len(n.Gates))
+	g.inputs = make([][]pinNet, len(n.Gates))
+	g.outIdx = make([]int, len(n.Gates))
 	for i, gate := range n.Gates {
 		info, err := lib.Get(gate.Cell)
 		if err != nil {
 			return nil, err
 		}
 		g.cells[i] = info
+		g.byName[gate.Name] = i
+		g.outIdx[i] = -1
+		for pin, net := range gate.Conn {
+			ni, ok := g.netIdx[net]
+			if !ok {
+				return nil, fmt.Errorf("sta: gate %s pin %s: net %s missing from connectivity", gate.Name, pin, net)
+			}
+			if pin == info.Output {
+				g.outIdx[i] = ni
+				continue
+			}
+			g.inputs[i] = append(g.inputs[i], pinNet{pin: pin, net: net, idx: ni})
+		}
+		ins := g.inputs[i]
+		sort.Slice(ins, func(a, b int) bool { return ins[a].pin < ins[b].pin })
 	}
 	if err := g.levelize(); err != nil {
 		return nil, err
 	}
 	return g, nil
+}
+
+// pinNet is one input connection of a gate.
+type pinNet struct {
+	pin, net string
+	idx      int // net index (see Graph.netIdx)
 }
 
 // levelize topologically orders the combinational gates. Sequential cells
@@ -160,8 +228,9 @@ type Annotations map[string]timinglib.Annotator
 type arrival struct {
 	atR, atF     float64 // arrival times (ps)
 	slewR, slewF float64
-	// backtrace: predecessor net and sense through the driving gate.
-	fromNetR, fromNetF   string
+	// backtrace: predecessor net index and sense through the driving gate
+	// (-1 at startpoints).
+	fromNetR, fromNetF   int
 	fromRiseR, fromRiseF bool
 	valid                bool
 }
@@ -191,8 +260,17 @@ type Result struct {
 	// LeakNW is the summed cell leakage.
 	LeakNW float64
 
-	arr map[string]*arrival
-	cfg Config
+	// Retained analysis state: AnalyzeIncremental seeds from it to
+	// recompute only the cone of gates whose annotation changed. Arrivals
+	// and loads are net-index-shaped slices (see Graph.netIdx); the arrival
+	// structs are immutable once an analysis returns — incremental results
+	// share them with their baseline.
+	g     *Graph
+	arr   []*arrival
+	cfg   Config
+	ann   Annotations
+	evals []timinglib.Eval
+	loads []float64
 }
 
 // Path is one speed path from a startpoint to an endpoint.
@@ -243,102 +321,173 @@ func (g *Graph) Analyze(cfg Config, ann Annotations) (*Result, error) {
 	n := g.Netlist
 	// Evaluate every gate's electrical view.
 	evals := make([]timinglib.Eval, len(n.Gates))
-	res := &Result{arr: map[string]*arrival{}, cfg: cfg}
-	for gi, gate := range n.Gates {
-		a := ann[gate.Name]
-		if a == nil {
-			a = ann["*"]
-		}
-		ev, err := g.TL.Evaluate(g.cells[gi], a)
+	res := &Result{g: g, arr: make([]*arrival, len(g.netNames)), cfg: cfg, ann: ann, evals: evals}
+	for gi := range n.Gates {
+		ev, err := g.evalGate(gi, ann)
 		if err != nil {
-			return nil, fmt.Errorf("sta: gate %s: %w", gate.Name, err)
+			return nil, err
 		}
 		evals[gi] = ev
-		res.LeakNW += ev.LeakNW
 	}
-	// Net loads.
-	loads := map[string]float64{}
-	poSet := map[string]bool{}
-	for _, po := range n.Outputs {
-		poSet[po] = true
-	}
-	for net, c := range g.conns {
-		var l float64
-		for _, s := range c.Sinks {
-			if s.Gate < 0 {
-				l += cfg.PrimaryLoadFF
-				continue
-			}
-			l += evals[s.Gate].CinFF[s.Pin]
-			if cfg.WireLoads == nil {
-				l += g.TL.P.CWireFF
-			}
-		}
-		if cfg.WireLoads != nil {
-			l += cfg.WireLoads[net]
-		}
-		loads[net] = l
-	}
+	g.hFullEvals.Observe(float64(len(n.Gates)))
+	res.LeakNW = sumLeak(evals)
+	res.loads = g.netLoads(cfg, evals)
 
 	// Seed arrivals: primary inputs and flop Q outputs.
 	for _, in := range n.Inputs {
-		res.arr[in] = &arrival{atR: 0, atF: 0, slewR: cfg.InputSlewPS, slewF: cfg.InputSlewPS, valid: true}
+		if ni, ok := g.netIdx[in]; ok {
+			res.arr[ni] = &arrival{atR: 0, atF: 0, slewR: cfg.InputSlewPS, slewF: cfg.InputSlewPS,
+				fromNetR: -1, fromNetF: -1, valid: true}
+		}
 	}
-	for gi, gate := range n.Gates {
-		if g.cells[gi].Kind != stdcell.Seq {
-			continue
+	for gi := range n.Gates {
+		if qi, a, ok := g.launchArrival(gi, cfg, evals, res.loads); ok {
+			res.arr[qi] = a
 		}
-		qNet, ok := gate.Conn[g.cells[gi].Output]
-		if !ok {
-			continue
-		}
-		dR, sR := g.TL.ArcDelay(evals[gi], true, loads[qNet], cfg.InputSlewPS)
-		dF, sF := g.TL.ArcDelay(evals[gi], false, loads[qNet], cfg.InputSlewPS)
-		res.arr[qNet] = &arrival{atR: dR, atF: dF, slewR: sR, slewF: sF, valid: true}
 	}
 
 	// Propagate through combinational gates in topological order.
 	tP := g.hArrival.StartTimer()
 	for _, gi := range g.topo {
-		gate := n.Gates[gi]
-		cell := g.cells[gi]
-		outNet := gate.Conn[cell.Output]
-		load := loads[outNet]
-		out := &arrival{atR: math.Inf(-1), atF: math.Inf(-1)}
-		for pin, net := range gate.Conn {
-			if pin == cell.Output {
-				continue
-			}
-			in := res.arr[net]
-			if in == nil || !in.valid {
-				continue // input from an unconstrained source
-			}
-			consider := func(inRise bool, inAT, inSlew float64) {
-				for _, outRise := range outSenses(cell.Unate, inRise) {
-					d, os := g.TL.ArcDelay(evals[gi], outRise, load, inSlew)
-					at := inAT + d
-					if outRise && at > out.atR {
-						out.atR, out.slewR = at, os
-						out.fromNetR, out.fromRiseR = net, inRise
-					} else if !outRise && at > out.atF {
-						out.atF, out.slewF = at, os
-						out.fromNetF, out.fromRiseF = net, inRise
-					}
-				}
-			}
-			consider(true, in.atR, in.slewR)
-			consider(false, in.atF, in.slewF)
+		oi := g.outIdx[gi]
+		if oi < 0 {
+			continue // dangling output: nothing downstream to time
 		}
-		if !math.IsInf(out.atR, -1) || !math.IsInf(out.atF, -1) {
-			out.valid = true
-		}
-		res.arr[outNet] = out
+		res.arr[oi] = g.propagateGate(gi, evals[gi], res.loads[oi], res.arr)
 	}
 	g.hArrival.ObserveSince(tP)
 
-	// Endpoints: primary outputs and flop D pins.
+	if err := g.finish(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// evalGate evaluates one gate's electrical view under an annotation set
+// (the gate's own entry, else the "*" default, else drawn).
+func (g *Graph) evalGate(gi int, ann Annotations) (timinglib.Eval, error) {
+	a := ann[g.Netlist.Gates[gi].Name]
+	if a == nil {
+		a = ann["*"]
+	}
+	ev, err := g.TL.Evaluate(g.cells[gi], a)
+	if err != nil {
+		return ev, fmt.Errorf("sta: gate %s: %w", g.Netlist.Gates[gi].Name, err)
+	}
+	return ev, nil
+}
+
+// sumLeak totals cell leakage in gate-index order (the fixed summation
+// order keeps full and incremental results bit-identical).
+func sumLeak(evals []timinglib.Eval) float64 {
+	var leak float64
+	for i := range evals {
+		leak += evals[i].LeakNW
+	}
+	return leak
+}
+
+// netLoads computes every net's capacitive load, net-index-shaped.
+func (g *Graph) netLoads(cfg Config, evals []timinglib.Eval) []float64 {
+	loads := make([]float64, len(g.netNames))
+	for ni, c := range g.connOf {
+		loads[ni] = g.netLoad(cfg, g.netNames[ni], c, evals)
+	}
+	return loads
+}
+
+// netLoad computes one net's load: sink input-pin caps plus wire
+// capacitance — the per-net WireLoads entry when present, the kit's flat
+// per-gate-sink CWireFF otherwise. A net absent from a non-nil WireLoads
+// map takes the same flat fallback a nil map would (see Config.WireLoads);
+// it is never silently timed at zero wire capacitance.
+func (g *Graph) netLoad(cfg Config, net string, c *netlist.Conn, evals []timinglib.Eval) float64 {
+	var l float64
+	gateSinks := 0
+	for _, s := range c.Sinks {
+		if s.Gate < 0 {
+			l += cfg.PrimaryLoadFF
+			continue
+		}
+		l += evals[s.Gate].CinFF[s.Pin]
+		if cfg.WireLoads == nil {
+			l += g.TL.P.CWireFF
+		} else {
+			gateSinks++
+		}
+	}
+	if cfg.WireLoads != nil {
+		if w, ok := cfg.WireLoads[net]; ok {
+			l += w
+		} else {
+			l += float64(gateSinks) * g.TL.P.CWireFF
+		}
+	}
+	return l
+}
+
+// launchArrival computes the clk->Q seed arrival of a sequential gate,
+// returning the Q-net index. ok is false for combinational gates and flops
+// without a Q connection.
+func (g *Graph) launchArrival(gi int, cfg Config, evals []timinglib.Eval, loads []float64) (int, *arrival, bool) {
+	if g.cells[gi].Kind != stdcell.Seq {
+		return -1, nil, false
+	}
+	qi := g.outIdx[gi]
+	if qi < 0 {
+		return -1, nil, false
+	}
+	dR, sR := g.TL.ArcDelay(evals[gi], true, loads[qi], cfg.InputSlewPS)
+	dF, sF := g.TL.ArcDelay(evals[gi], false, loads[qi], cfg.InputSlewPS)
+	return qi, &arrival{atR: dR, atF: dF, slewR: sR, slewF: sF, fromNetR: -1, fromNetF: -1, valid: true}, true
+}
+
+// propagateGate computes one combinational gate's output arrival from the
+// arrivals of its input nets. Input pins are visited in the fixed sorted
+// order prepared by Build, so ties break deterministically.
+func (g *Graph) propagateGate(gi int, ev timinglib.Eval, load float64, arr []*arrival) *arrival {
+	cell := g.cells[gi]
+	out := &arrival{atR: math.Inf(-1), atF: math.Inf(-1), fromNetR: -1, fromNetF: -1}
+	for _, pn := range g.inputs[gi] {
+		in := arr[pn.idx]
+		if in == nil || !in.valid {
+			continue // input from an unconstrained source
+		}
+		consider := func(inRise bool, inAT, inSlew float64) {
+			for _, outRise := range outSenses(cell.Unate, inRise) {
+				d, os := g.TL.ArcDelay(ev, outRise, load, inSlew)
+				at := inAT + d
+				if outRise && at > out.atR {
+					out.atR, out.slewR = at, os
+					out.fromNetR, out.fromRiseR = pn.idx, inRise
+				} else if !outRise && at > out.atF {
+					out.atF, out.slewF = at, os
+					out.fromNetF, out.fromRiseF = pn.idx, inRise
+				}
+			}
+		}
+		consider(true, in.atR, in.slewR)
+		consider(false, in.atF, in.slewF)
+	}
+	if !math.IsInf(out.atR, -1) || !math.IsInf(out.atF, -1) {
+		out.valid = true
+	}
+	return out
+}
+
+// finish derives the endpoint view of a result whose arrival map is
+// complete: endpoint collection, the slack sort, WNS/TNS and the K worst
+// path backtraces. Shared by Analyze and AnalyzeIncremental so the merged
+// outputs are computed identically.
+func (g *Graph) finish(res *Result) error {
+	n := g.Netlist
+	cfg := res.cfg
 	addEndpoint := func(name, net string, required float64) {
-		a := res.arr[net]
+		ni, ok := g.netIdx[net]
+		if !ok {
+			return // endpoint net unknown to the graph
+		}
+		a := res.arr[ni]
 		if a == nil || !a.valid {
 			return // unconstrained
 		}
@@ -369,7 +518,7 @@ func (g *Graph) Analyze(cfg Config, ann Annotations) (*Result, error) {
 		return res.Endpoints[i].Name < res.Endpoints[j].Name
 	})
 	if len(res.Endpoints) == 0 {
-		return nil, fmt.Errorf("sta: design %s has no constrained endpoints", n.Name)
+		return fmt.Errorf("sta: design %s has no constrained endpoints", n.Name)
 	}
 	res.WNS = res.Endpoints[0].SlackPS
 	for _, ep := range res.Endpoints {
@@ -385,7 +534,7 @@ func (g *Graph) Analyze(cfg Config, ann Annotations) (*Result, error) {
 	for i := 0; i < k; i++ {
 		res.Paths = append(res.Paths, g.backtrace(res, res.Endpoints[i]))
 	}
-	return res, nil
+	return nil
 }
 
 // outSenses lists the output transitions an input transition can launch.
@@ -403,37 +552,40 @@ func outSenses(u stdcell.Unate, inRise bool) []bool {
 // backtrace reconstructs the critical path into an endpoint.
 func (g *Graph) backtrace(res *Result, ep Endpoint) Path {
 	p := Path{Endpoint: ep.Name, SlackPS: ep.SlackPS, ArrivalPS: ep.ArrivalPS}
-	net := ep.Net
+	ni, ok := g.netIdx[ep.Net]
+	if !ok {
+		return p
+	}
 	rise := ep.Rise
 	var rev []PathPoint
 	for i := 0; i < len(g.Netlist.Gates)+2; i++ {
-		a := res.arr[net]
+		a := res.arr[ni]
 		if a == nil {
 			break
 		}
-		pt := PathPoint{Net: net, Rise: rise}
+		pt := PathPoint{Net: g.netNames[ni], Rise: rise}
 		if rise {
 			pt.ArrivalPS = a.atR
 		} else {
 			pt.ArrivalPS = a.atF
 		}
-		c := g.conns[net]
+		c := g.connOf[ni]
 		if c != nil && c.Driver.Gate >= 0 {
 			pt.Gate = g.Netlist.Gates[c.Driver.Gate].Name
 			pt.Cell = g.Netlist.Gates[c.Driver.Gate].Cell
 		}
 		rev = append(rev, pt)
-		var fromNet string
+		var fromNet int
 		var fromRise bool
 		if rise {
 			fromNet, fromRise = a.fromNetR, a.fromRiseR
 		} else {
 			fromNet, fromRise = a.fromNetF, a.fromRiseF
 		}
-		if fromNet == "" {
+		if fromNet < 0 {
 			break // startpoint (PI or flop Q)
 		}
-		net, rise = fromNet, fromRise
+		ni, rise = fromNet, fromRise
 	}
 	for i := len(rev) - 1; i >= 0; i-- {
 		p.Points = append(p.Points, rev[i])
@@ -443,7 +595,11 @@ func (g *Graph) backtrace(res *Result, ep Endpoint) Path {
 
 // ArrivalOf exposes a net's worst arrival (for tests and reports).
 func (r *Result) ArrivalOf(net string) (ps float64, ok bool) {
-	a := r.arr[net]
+	ni, found := r.g.netIdx[net]
+	if !found {
+		return 0, false
+	}
+	a := r.arr[ni]
 	if a == nil || !a.valid {
 		return 0, false
 	}

@@ -219,6 +219,87 @@ func TestCriticalGatesTagging(t *testing.T) {
 	}
 }
 
+func TestWireLoadsMissingNetFallsBack(t *testing.T) {
+	n := netlist.InverterChain(8)
+	cfg := DefaultConfig(2000)
+	flat := analyze(t, n, cfg, nil) // nil map: flat CWireFF per gate sink
+
+	// A non-nil map with no entries must not time every net at zero wire
+	// cap — absent nets fall back to the same flat model, so an empty
+	// map is bit-identical to a nil one.
+	cfgEmpty := cfg
+	cfgEmpty.WireLoads = map[string]float64{}
+	empty := analyze(t, n, cfgEmpty, nil)
+	if math.Float64bits(empty.WNS) != math.Float64bits(flat.WNS) ||
+		math.Float64bits(empty.Endpoints[0].ArrivalPS) != math.Float64bits(flat.Endpoints[0].ArrivalPS) {
+		t.Fatalf("empty WireLoads map diverges from nil: WNS %v vs %v", empty.WNS, flat.WNS)
+	}
+
+	// An explicit zero entry IS the way to declare a net wire-free: the
+	// chain gets faster than the flat fallback.
+	cfgZero := cfg
+	cfgZero.WireLoads = map[string]float64{}
+	for _, gt := range n.Gates {
+		cfgZero.WireLoads[gt.Conn["Y"]] = 0
+	}
+	zero := analyze(t, n, cfgZero, nil)
+	if !(zero.WNS > flat.WNS) {
+		t.Fatalf("zero-wire chain should be faster: %v vs flat %v", zero.WNS, flat.WNS)
+	}
+
+	// A partial map mixes both: the supplied net uses its (heavier)
+	// extraction, absent nets the flat fallback — so the chain lands
+	// strictly slower than flat, far from the old all-zero behavior.
+	heavy := 2 * testTL.P.CWireFF
+	cfgHeavy := cfg
+	cfgHeavy.WireLoads = map[string]float64{n.Gates[3].Conn["Y"]: heavy}
+	part := analyze(t, n, cfgHeavy, nil)
+	if !(part.WNS < flat.WNS && flat.WNS < zero.WNS) {
+		t.Fatalf("partial map ordering: heavy-partial %v < flat %v < zero %v expected",
+			part.WNS, flat.WNS, zero.WNS)
+	}
+}
+
+func TestBacktraceTiedRiseFallArrival(t *testing.T) {
+	// An endpoint whose rise and fall arrivals tie exactly must pick the
+	// rise sense (atR >= atF) and backtrace through the rise
+	// predecessor — deterministically, not by map luck. Real libraries
+	// rarely produce exact ties, so drive finish() with a hand-made
+	// arrival map on a real graph.
+	lib, tl := env(t)
+	n := &netlist.Netlist{Name: "tie", Inputs: []string{"a"}, Outputs: []string{"y"}}
+	n.AddGate("g1", "INV_X1", map[string]string{"A": "a", "Y": "y"})
+	g, err := Build(n, lib, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := make([]*arrival, len(g.netNames))
+	arr[g.netIdx["a"]] = &arrival{fromNetR: -1, fromNetF: -1, valid: true}
+	arr[g.netIdx["y"]] = &arrival{
+		atR: 100, atF: 100, slewR: 20, slewF: 20,
+		// Distinct predecessors per sense so the test observes which
+		// one the backtrace followed.
+		fromNetR: g.netIdx["a"], fromRiseR: false,
+		fromNetF: g.netIdx["a"], fromRiseF: true,
+		valid: true,
+	}
+	res := &Result{g: g, cfg: DefaultConfig(1000), arr: arr}
+	if err := g.finish(res); err != nil {
+		t.Fatal(err)
+	}
+	ep := res.Endpoints[0]
+	if !ep.Rise || ep.ArrivalPS != 100 {
+		t.Fatalf("tied arrival must resolve to rise: %+v", ep)
+	}
+	pts := res.Paths[0].Points
+	if len(pts) != 2 || pts[1].Net != "y" || !pts[1].Rise {
+		t.Fatalf("backtrace points: %+v", pts)
+	}
+	if pts[0].Net != "a" || pts[0].Rise {
+		t.Fatalf("backtrace must follow the rise predecessor (fall at a): %+v", pts[0])
+	}
+}
+
 func TestUnconstrainedEndpointsError(t *testing.T) {
 	lib, tl := env(t)
 	// A design whose only output hangs from an undriven... actually build

@@ -9,7 +9,10 @@ import (
 // the paper's "significant reordering of speed path criticality".
 type RankComparison struct {
 	// Spearman is the rank correlation coefficient of endpoint
-	// criticality (1 = identical order).
+	// criticality (1 = identical order). Tied slacks receive midranks
+	// (the mean of the positions they span), so a slack wall — many
+	// endpoints at exactly the same slack — does not bias ρ by the
+	// arbitrary order ties happen to be listed in.
 	Spearman float64
 	// KendallTau is the pairwise-concordance correlation.
 	KendallTau float64
@@ -24,8 +27,8 @@ type RankComparison struct {
 // CompareOrders compares endpoint criticality between two results of the
 // same design. topNs selects the overlap set sizes to report.
 func CompareOrders(a, b *Result, topNs ...int) RankComparison {
-	rankA := ranks(a)
-	rankB := ranks(b)
+	rankA := midranks(a)
+	rankB := midranks(b)
 	// Common endpoints only (they should be identical sets).
 	var names []string
 	for name := range rankA {
@@ -40,14 +43,17 @@ func CompareOrders(a, b *Result, topNs ...int) RankComparison {
 		cmp.Spearman = 1
 		cmp.KendallTau = 1
 		for _, k := range topNs {
+			if k <= 0 {
+				continue
+			}
 			cmp.TopNOverlap[k] = 1
 		}
 		return cmp
 	}
-	// Spearman over rank vectors.
+	// Spearman over midrank vectors.
 	var d2 float64
 	for _, name := range names {
-		d := float64(rankA[name] - rankB[name])
+		d := rankA[name] - rankB[name]
 		d2 += d * d
 	}
 	nf := float64(n)
@@ -112,11 +118,24 @@ func CompareOrders(a, b *Result, topNs ...int) RankComparison {
 	return cmp
 }
 
-// ranks assigns criticality ranks (0 = most critical) by ascending slack.
-func ranks(r *Result) map[string]int {
-	out := make(map[string]int, len(r.Endpoints))
-	for i, ep := range r.Endpoints {
-		out[ep.Name] = i
+// midranks assigns criticality ranks (0 = most critical) by ascending
+// slack, giving every member of a tied-slack run the mean of the
+// positions the run spans. Dense sort-order ranks would order ties by
+// the secondary name sort — pure listing accident — and a slack wall
+// (hundreds of endpoints at one slack, routine in regular datapaths)
+// would then contribute spurious d² to Spearman's ρ.
+func midranks(r *Result) map[string]float64 {
+	out := make(map[string]float64, len(r.Endpoints))
+	eps := r.Endpoints // sorted by ascending slack
+	for i := 0; i < len(eps); {
+		j := i
+		for j < len(eps) && eps[j].SlackPS == eps[i].SlackPS {
+			j++
+		}
+		mid := float64(i+j-1) / 2
+		for ; i < j; i++ {
+			out[eps[i].Name] = mid
+		}
 	}
 	return out
 }

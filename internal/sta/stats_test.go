@@ -127,6 +127,62 @@ func TestCompareOrdersDegenerate(t *testing.T) {
 	}
 }
 
+func TestCompareOrdersSpearmanMidranks(t *testing.T) {
+	// Tied slacks take midranks. A={1,2,2,4} vs B={1,3,2,4}: in A the
+	// b/c tie spans positions 1–2 → both rank 1.5; in B the order is
+	// a,c,b,d. Σd² = 0.5² + 0.5² = 0.5 → ρ = 1 − 6·0.5/(4·15) = 0.95.
+	// Dense sort-order ranks broke the A-side tie by name and reported
+	// 0.8 — penalizing a listing accident as disorder.
+	names := []string{"a", "b", "c", "d"}
+	a := mkResult(names, []float64{1, 2, 2, 4})
+	b := mkResult(names, []float64{1, 3, 2, 4})
+	cmp := CompareOrders(a, b)
+	if math.Abs(cmp.Spearman-0.95) > 1e-12 {
+		t.Fatalf("midrank Spearman = %g, want 0.95", cmp.Spearman)
+	}
+}
+
+func TestCompareOrdersSpearmanSlackWall(t *testing.T) {
+	// A slack wall (E5/E6 regime): many endpoints at exactly the same
+	// slack. Identical analyses must report ρ = 1 no matter how the tie
+	// run is listed.
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	wall := []float64{-5, 3, 3, 3, 3, 9}
+	cmp := CompareOrders(mkResult(names, wall), mkResult(names, wall))
+	if cmp.Spearman != 1 {
+		t.Fatalf("identical wall: ρ = %g, want exactly 1", cmp.Spearman)
+	}
+	// One analysis breaks the wall into a strict order: the tied side
+	// contributes midranks, the broken side its actual order.
+	// A: a=0, b..e=2.5 each, f=5. B={-5,2,3,4,5,9}: a=0,b=1,c=2,d=3,e=4,f=5.
+	// Σd² = 1.5²+0.5²+0.5²+1.5² = 5 → ρ = 1 − 30/210 = 6/7.
+	cmp = CompareOrders(mkResult(names, wall), mkResult(names, []float64{-5, 2, 3, 4, 5, 9}))
+	if math.Abs(cmp.Spearman-6.0/7.0) > 1e-12 {
+		t.Fatalf("broken wall: ρ = %g, want %g", cmp.Spearman, 6.0/7.0)
+	}
+}
+
+func TestCompareOrdersNonPositiveTopN(t *testing.T) {
+	// k <= 0 overlap sets are meaningless and must not be reported —
+	// in either the general path or the n < 2 early return.
+	big := CompareOrders(
+		mkResult([]string{"a", "b"}, []float64{1, 2}),
+		mkResult([]string{"a", "b"}, []float64{1, 2}), 0, -3, 2)
+	small := CompareOrders(
+		mkResult([]string{"a"}, []float64{1}),
+		mkResult([]string{"a"}, []float64{1}), 0, -3, 1)
+	for name, cmp := range map[string]RankComparison{"n=2": big, "n=1": small} {
+		for k := range cmp.TopNOverlap {
+			if k <= 0 {
+				t.Errorf("%s: TopNOverlap reports non-positive k=%d: %v", name, k, cmp.TopNOverlap)
+			}
+		}
+	}
+	if big.TopNOverlap[2] != 1 || small.TopNOverlap[1] != 1 {
+		t.Fatalf("positive k lost: %v / %v", big.TopNOverlap, small.TopNOverlap)
+	}
+}
+
 func TestCompareSlacks(t *testing.T) {
 	names := []string{"a", "b", "c"}
 	base := mkResult(names, []float64{100, 200, 300})
@@ -147,10 +203,32 @@ func TestCompareSlacks(t *testing.T) {
 }
 
 func TestCompareSlacksZeroBase(t *testing.T) {
-	base := mkResult([]string{"a"}, []float64{0})
-	cmp := mkResult([]string{"a"}, []float64{10})
-	s := CompareSlacks(base, cmp)
-	if s.WNSShiftPct != 0 {
-		t.Fatalf("zero-base shift should be 0, got %g", s.WNSShiftPct)
+	// WNSBase == 0 makes the relative shift undefined; the contract is a
+	// reported 0% whatever the comparison side says — locked here so a
+	// future "fix" doesn't silently start emitting ±Inf or NaN.
+	cases := []struct {
+		name    string
+		cmpWNS  float64
+		wantPct float64
+	}{
+		{"cmp positive", 10, 0},
+		{"cmp negative", -25, 0},
+		{"cmp zero", 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			base := mkResult([]string{"a"}, []float64{0})
+			cmp := mkResult([]string{"a"}, []float64{c.cmpWNS})
+			s := CompareSlacks(base, cmp)
+			if s.WNSShiftPct != c.wantPct {
+				t.Fatalf("zero-base shift = %g, want %g", s.WNSShiftPct, c.wantPct)
+			}
+			if math.IsNaN(s.WNSShiftPct) || math.IsInf(s.WNSShiftPct, 0) {
+				t.Fatalf("zero-base shift not finite: %g", s.WNSShiftPct)
+			}
+			if s.WNSBase != 0 || s.WNSCmp != c.cmpWNS {
+				t.Fatalf("WNS fields: %+v", s)
+			}
+		})
 	}
 }
