@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-smoke bench-kernel bench-obs bench-sta check
+.PHONY: build test vet lint lint-sarif race bench bench-smoke bench-kernel bench-obs bench-sta check
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,19 @@ vet:
 
 # Run the repository's own static-analysis suite (cmd/postopc-lint):
 # determinism (detrand, maporder), unit safety (unitsafe), worker-pool
-# correctness (parcapture) and dead-assignment hygiene (deadassign).
+# correctness (parcapture), dead-assignment hygiene (deadassign),
+# cache-key completeness (cachekey, keycover), allocation budgets
+# (allocbudget), write-only telemetry (obswrite) and suppression hygiene
+# (nolint). -timing prints per-analyzer wall-clock to stderr.
 lint:
 	$(GO) build -o bin/postopc-lint ./cmd/postopc-lint
-	./bin/postopc-lint ./...
+	./bin/postopc-lint -timing ./...
+
+# The machine-readable variant of the lint gate: same findings, rendered
+# as SARIF 2.1.0 on stdout (byte-identical at any -j worker count).
+lint-sarif:
+	$(GO) build -o bin/postopc-lint ./cmd/postopc-lint
+	./bin/postopc-lint -json ./... > postopc-lint.sarif
 
 test:
 	$(GO) test ./...

@@ -1,17 +1,27 @@
 // Command postopc-lint runs the repository's static-analysis suite (see
 // internal/analysis/suite) over Go packages.
 //
-// Standalone, it takes go-list package patterns:
+// Standalone, it takes go-list package patterns plus flags:
 //
-//	postopc-lint ./...
+//	postopc-lint [-json] [-timing] [-j N] ./...
+//
+// -json renders findings as SARIF 2.1.0 on stdout (CI ingests the file as
+// a code-scanning artifact); the default is file:line:col: analyzer:
+// message text. -timing prints per-analyzer wall-clock to stderr. -j
+// bounds the driver's worker pool (0 = GOMAXPROCS, 1 = serial); output is
+// byte-identical at any setting. Packages are analyzed in dependency
+// order so analyzer facts (cache-key coverage, allocation-freedom) flow
+// across package boundaries.
 //
 // It also speaks enough of the go vet tool protocol (-V=full, -flags, and
 // JSON .cfg package units) to run as
 //
 //	go vet -vettool=$(which postopc-lint) ./...
 //
-// which additionally covers test files. Findings print as
-// file:line:col: analyzer: message; the exit status is non-zero when any
+// which additionally covers test files. In that mode facts travel between
+// package units through the .vetx files the protocol provides: imported
+// units' facts are decoded from PackageVetx, this unit's exported facts
+// are gob-encoded to VetxOutput. The exit status is non-zero when any
 // finding survives //postopc:nolint filtering.
 package main
 
@@ -26,10 +36,14 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"postopc/internal/analysis"
+	"postopc/internal/analysis/driver"
 	"postopc/internal/analysis/load"
+	"postopc/internal/analysis/sarif"
 	"postopc/internal/analysis/suite"
 	"postopc/internal/cli"
 )
@@ -37,20 +51,41 @@ import (
 func main() {
 	var patterns []string
 	var cfg string
-	for _, arg := range os.Args[1:] {
+	var jsonOut, timing bool
+	workers := 0
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
 		switch {
 		case strings.HasPrefix(arg, "-V"):
 			printVersion()
 			return
 		case arg == "-flags":
 			// The go command queries supported flags as a JSON array; the
-			// suite has none.
+			// suite has none it wants vet to forward.
 			fmt.Println("[]")
 			return
+		case arg == "-json":
+			jsonOut = true
+		case arg == "-timing":
+			timing = true
+		case strings.HasPrefix(arg, "-j="):
+			n, err := strconv.Atoi(strings.TrimPrefix(arg, "-j="))
+			if err != nil {
+				cli.Fatal("postopc-lint", fmt.Errorf("bad -j value %q", arg))
+			}
+			workers = n
+		case arg == "-j" && i+1 < len(args):
+			i++
+			n, err := strconv.Atoi(args[i])
+			if err != nil {
+				cli.Fatal("postopc-lint", fmt.Errorf("bad -j value %q", args[i]))
+			}
+			workers = n
 		case strings.HasSuffix(arg, ".cfg"):
 			cfg = arg
 		case strings.HasPrefix(arg, "-"):
-			// Tolerate pass-through vet flags (-json, -c=N, ...).
+			// Tolerate pass-through vet flags (-c=N, ...).
 		default:
 			patterns = append(patterns, arg)
 		}
@@ -65,34 +100,43 @@ func main() {
 	if err != nil {
 		cli.Fatal("postopc-lint", err)
 	}
-	total := 0
-	for _, pkg := range pkgs {
-		n, err := runSuite(pkg.Fset, pkg.Syntax, pkg.Types, pkg.Info, os.Stdout)
-		if err != nil {
+	res, err := driver.Run(pkgs, suite.Analyzers, driver.Options{Workers: workers})
+	if err != nil {
+		cli.Fatal("postopc-lint", err)
+	}
+	if timing {
+		printTimings(os.Stderr, res.Timings)
+	}
+	if jsonOut {
+		root, _ := os.Getwd()
+		if err := sarif.Write(os.Stdout, sarif.New("postopc-lint", suite.Analyzers, res.Findings, root)); err != nil {
 			cli.Fatal("postopc-lint", err)
 		}
-		total += n
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "postopc-lint: %d finding(s)\n", total)
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "postopc-lint: %d finding(s)\n", len(res.Findings))
 		os.Exit(1)
 	}
 }
 
-// runSuite applies every analyzer to one package, printing findings to w.
-func runSuite(fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info, w io.Writer) (int, error) {
-	n := 0
-	for _, a := range suite.Analyzers {
-		findings, err := analysis.Run(a, fset, files, tpkg, info)
-		if err != nil {
-			return n, err
+// printTimings reports per-analyzer wall-clock, slowest first. Timing is
+// diagnostic output only: it goes to stderr and never into SARIF, which
+// stays byte-deterministic.
+func printTimings(w io.Writer, ts []driver.Timing) {
+	sorted := append([]driver.Timing(nil), ts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Nanos != sorted[j].Nanos {
+			return sorted[i].Nanos > sorted[j].Nanos
 		}
-		for _, f := range findings {
-			fmt.Fprintln(w, f)
-			n++
-		}
+		return sorted[i].Analyzer < sorted[j].Analyzer
+	})
+	for _, t := range sorted {
+		fmt.Fprintf(w, "postopc-lint: timing %-12s %9.2fms\n", t.Analyzer, float64(t.Nanos)/1e6)
 	}
-	return n, nil
 }
 
 // printVersion implements the -V=full tool-identification handshake; the
@@ -118,13 +162,16 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
 // unitCheck analyzes one go-vet package unit and returns the process exit
-// code.
+// code. Facts cross unit boundaries through the protocol's .vetx files:
+// imported units' facts are decoded before the run, this unit's exported
+// facts are encoded after it.
 func unitCheck(path string) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -135,17 +182,6 @@ func unitCheck(path string) int {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "postopc-lint: parsing %s: %v\n", path, err)
 		return 1
-	}
-	// The protocol requires the facts file regardless; the suite exports
-	// none.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("postopc-lint: no facts\n"), 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "postopc-lint:", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
 	}
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -166,15 +202,85 @@ func unitCheck(path string) int {
 		fmt.Fprintln(os.Stderr, "postopc-lint:", err)
 		return 1
 	}
-	n, err := runSuite(fset, files, tpkg, info, os.Stderr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "postopc-lint:", err)
-		return 1
+	analysis.RegisterFactTypes(suite.Analyzers)
+	facts := analysis.NewFacts()
+	importFacts(&cfg, tpkg, facts)
+	n := 0
+	for _, a := range suite.Analyzers {
+		if cfg.VetxOnly && len(a.FactTypes) == 0 {
+			// A vetx-only unit exists purely to supply facts to its
+			// importers; fact-free analyzers have nothing to contribute.
+			continue
+		}
+		findings, err := analysis.RunWithFacts(a, fset, files, tpkg, info, facts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "postopc-lint:", err)
+			return 1
+		}
+		if cfg.VetxOnly {
+			continue
+		}
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+			n++
+		}
+	}
+	if cfg.VetxOutput != "" {
+		enc, err := facts.Encode(tpkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "postopc-lint:", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, enc, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "postopc-lint:", err)
+			return 1
+		}
 	}
 	if n > 0 {
 		return 2
 	}
 	return 0
+}
+
+// importFacts decodes the .vetx facts of every imported unit the go
+// command provided. Missing or unreadable files are skipped — a unit
+// without exported facts writes an empty file, and a fact that cannot be
+// resolved is one no pass will ask for.
+func importFacts(cfg *vetConfig, tpkg *types.Package, facts *analysis.Facts) {
+	byPath := map[string]*types.Package{}
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if _, ok := byPath[p.Path()]; ok {
+			return
+		}
+		byPath[p.Path()] = p
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	for _, imp := range tpkg.Imports() {
+		walk(imp)
+	}
+	for ipath, vetx := range cfg.PackageVetx {
+		canon := ipath
+		if c, ok := cfg.ImportMap[ipath]; ok {
+			canon = c
+		}
+		// Test-variant paths look like "pkg [pkg.test]"; strip the variant.
+		if i := strings.IndexByte(canon, ' '); i >= 0 {
+			canon = canon[:i]
+		}
+		pkg, ok := byPath[canon]
+		if !ok {
+			continue
+		}
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue
+		}
+		// Tolerate facts files from older builds of the tool.
+		_ = facts.Decode(pkg, data)
+	}
 }
 
 // typeCheckUnit type-checks a vet package unit, preferring the compiler

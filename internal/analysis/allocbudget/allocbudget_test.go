@@ -1,0 +1,13 @@
+package allocbudget_test
+
+import (
+	"testing"
+
+	"postopc/internal/analysis/allocbudget"
+	"postopc/internal/analysis/analysistest"
+)
+
+func TestAllocbudget(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), allocbudget.Analyzer,
+		"allocbudget", "allocdep", "allocuse")
+}

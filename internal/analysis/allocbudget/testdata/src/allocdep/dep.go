@@ -1,0 +1,9 @@
+// Package allocdep is the fixture dependency exporting AllocFree facts.
+package allocdep
+
+// Add is allocation-free.
+//postopc:allocfree
+func Add(a, b float64) float64 { return a + b } // want Add:`allocfree`
+
+// Box is not annotated: its result escapes.
+func Box(v float64) *float64 { return &v }

@@ -1,0 +1,17 @@
+// Package allocuse imports allocdep: the allocfree annotation travels to
+// this package as a fact.
+package allocuse
+
+import "allocdep"
+
+// combine calls a foreign marked function — accepted via the fact.
+//postopc:allocfree
+func combine(a, b float64) float64 { // want combine:`allocfree`
+	return allocdep.Add(a, b)
+}
+
+// escape calls a foreign unmarked function.
+//postopc:allocfree
+func escape(v float64) float64 { // want escape:`allocfree`
+	return *allocdep.Box(v) // want `calls Box, which is not marked //postopc:allocfree`
+}

@@ -27,6 +27,10 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph help text; the first line is the summary.
 	Doc string
+	// FactTypes lists prototypes (pointer values) of every fact type the
+	// analyzer exports or imports, for gob registration. Analyzers without
+	// facts leave it nil.
+	FactTypes []Fact
 	// Run applies the analyzer to one package, reporting findings through
 	// pass.Report.
 	Run func(*Pass) error
@@ -46,11 +50,39 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one finding.
 	Report func(Diagnostic)
+
+	// facts is the driver-shared fact store; never nil inside Run.
+	facts *Facts
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportObjectFact attaches fact to obj, replacing any previous fact of
+// the same concrete type. The object should belong to the package under
+// analysis; facts flow forward to passes over importing packages.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.facts.setObject(obj, fact)
+}
+
+// ImportObjectFact copies the fact of *fact's concrete type attached to
+// obj (by this pass or a pass over a dependency) into fact, reporting
+// whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.facts.getObject(obj, fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.facts.setPackage(p.Pkg.Path(), fact)
+}
+
+// ImportPackageFact copies the package fact of *fact's concrete type
+// attached to pkg into fact, reporting whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	return p.facts.getPackage(pkg.Path(), fact)
 }
 
 // Diagnostic is one finding, anchored to a source position.
@@ -80,7 +112,19 @@ func (f Finding) String() string {
 
 // Run applies one analyzer to a type-checked package and returns its
 // findings with nolint suppressions already dropped, sorted by position.
+// Facts exported by the analyzer are discarded; drivers that thread facts
+// between packages use RunWithFacts.
 func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+	return RunWithFacts(a, fset, files, pkg, info, NewFacts())
+}
+
+// RunWithFacts is Run with an explicit fact store: imported facts are
+// resolved from it, exported facts are added to it. The store may be
+// shared by concurrent passes.
+func RunWithFacts(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *Facts) ([]Finding, error) {
+	if facts == nil {
+		facts = NewFacts()
+	}
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -89,6 +133,7 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package
 		Pkg:       pkg,
 		TypesInfo: info,
 		Report:    func(d Diagnostic) { diags = append(diags, d) },
+		facts:     facts,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
@@ -115,43 +160,94 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package
 	return out, nil
 }
 
+// Directive is one parsed //postopc:nolint comment.
+type Directive struct {
+	// Pos is the comment position.
+	Pos token.Pos
+	// Names are the analyzers the directive silences.
+	Names []string
+	// Reason is the mandatory justification following the names.
+	Reason string
+	// Valid reports whether the directive is well-formed. Invalid
+	// directives suppress nothing; the nolint analyzer flags them.
+	Valid bool
+}
+
+// ParseNolint parses one comment's text as a nolint directive. ok is
+// false when the comment is not a nolint directive at all. A well-formed
+// directive scopes itself to named analyzers and states a reason:
+//
+//	//postopc:nolint:detrand wall clock confined to obs by design
+//	//postopc:nolint:maporder,deadassign fixture exercises both
+//
+// Bare directives, blanket directives without analyzer names, and
+// directives without a reason are invalid: a suppression with no recorded
+// justification is indistinguishable from a stale one.
+func ParseNolint(text string) (d Directive, ok bool) {
+	rest, ok := strings.CutPrefix(text, "//postopc:nolint")
+	if !ok {
+		return Directive{}, false
+	}
+	names, hasNames := strings.CutPrefix(rest, ":")
+	if !hasNames {
+		return Directive{}, true // bare (or legacy space-separated) form
+	}
+	nameList, reason, _ := strings.Cut(names, " ")
+	d.Reason = strings.TrimSpace(reason)
+	if strings.HasPrefix(d.Reason, "//") {
+		// A trailing comment is not a recorded justification.
+		d.Reason = ""
+	}
+	for _, n := range strings.Split(nameList, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			d.Names = append(d.Names, n)
+		}
+	}
+	d.Valid = len(d.Names) > 0 && d.Reason != ""
+	return d, true
+}
+
+// Nolints collects every nolint directive in the files, valid or not.
+func Nolints(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := ParseNolint(c.Text)
+				if !ok {
+					continue
+				}
+				d.Pos = c.Pos()
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
 // nolintKey identifies one suppressed (file, line).
 type nolintKey struct {
 	file string
 	line int
 }
 
-// nolintSet maps suppressed lines to the analyzer names they silence
-// (nil means all analyzers).
+// nolintSet maps suppressed lines to the analyzer names they silence.
 type nolintSet map[nolintKey][]string
 
-// suppressions collects //postopc:nolint directives. A directive
-// suppresses findings on its own line and on the line below (so it works
-// both trailing the offending statement and standing on its own above it).
-// An optional comma-separated list restricts it to named analyzers:
-// //postopc:nolint detrand,maporder.
+// suppressions collects the valid //postopc:nolint directives. A
+// directive suppresses findings on its own line and on the line below (so
+// it works both trailing the offending statement and standing on its own
+// above it). Invalid directives — no analyzer names, no reason — suppress
+// nothing.
 func suppressions(fset *token.FileSet, files []*ast.File) nolintSet {
 	set := nolintSet{}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//postopc:nolint")
-				if !ok {
-					continue
-				}
-				var names []string
-				if text = strings.TrimSpace(text); text != "" {
-					for _, n := range strings.Split(text, ",") {
-						if n = strings.TrimSpace(n); n != "" {
-							names = append(names, n)
-						}
-					}
-				}
-				pos := fset.Position(c.Pos())
-				set[nolintKey{pos.Filename, pos.Line}] = names
-				set[nolintKey{pos.Filename, pos.Line + 1}] = names
-			}
+	for _, d := range Nolints(fset, files) {
+		if !d.Valid {
+			continue
 		}
+		pos := fset.Position(d.Pos)
+		set[nolintKey{pos.Filename, pos.Line}] = append(set[nolintKey{pos.Filename, pos.Line}], d.Names...)
+		set[nolintKey{pos.Filename, pos.Line + 1}] = append(set[nolintKey{pos.Filename, pos.Line + 1}], d.Names...)
 	}
 	return set
 }
@@ -159,14 +255,7 @@ func suppressions(fset *token.FileSet, files []*ast.File) nolintSet {
 // matches reports whether a finding by analyzer at (file, line) is
 // suppressed.
 func (s nolintSet) matches(file string, line int, analyzer string) bool {
-	names, ok := s[nolintKey{file, line}]
-	if !ok {
-		return false
-	}
-	if len(names) == 0 {
-		return true
-	}
-	for _, n := range names {
+	for _, n := range s[nolintKey{file, line}] {
 		if n == analyzer {
 			return true
 		}

@@ -13,6 +13,20 @@
 // matched against the diagnostic message. Several expectations may follow
 // one `want`. Lines without a matching diagnostic, and diagnostics without
 // a matching expectation, fail the test.
+//
+// Fact-exporting analyzers are tested the same way: an expectation of the
+// form name:"re" asserts that the object called name declared on that line
+// carries an exported fact whose String() matches the regular expression:
+//
+//	type Recipe struct { // want Recipe:`complete`
+//
+// Facts on the package under test must be asserted exhaustively — an
+// unasserted fact fails the test, like an unexpected diagnostic.
+//
+// Fixture packages may import other fixture packages (testdata/src/<dep>).
+// Dependencies are analyzed first, in import order, with their diagnostics
+// dropped and their facts retained, so cross-package fact flow is exercised
+// exactly as the driver runs it.
 package analysistest
 
 import (
@@ -62,22 +76,62 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string)
 	if err != nil {
 		t.Fatalf("loading %s: %v", pkgpath, err)
 	}
-	findings, err := analysis.Run(a, fset, files, tpkg, info)
+	// Analyze in-tree dependencies first (facts only): the loader records
+	// them in completion order, which is a valid topological order of the
+	// import DAG.
+	facts := analysis.NewFacts()
+	for _, dep := range ld.order {
+		if dep.tpkg == tpkg {
+			continue
+		}
+		if _, err := analysis.RunWithFacts(a, fset, dep.files, dep.tpkg, dep.info, facts); err != nil {
+			t.Fatalf("running %s over dependency %s: %v", a.Name, dep.tpkg.Path(), err)
+		}
+	}
+	findings, err := analysis.RunWithFacts(a, fset, files, tpkg, info, facts)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
-	wants := collectWants(t, fset, files)
+	diagWants, factWants := collectWants(t, fset, files)
 	for _, f := range findings {
 		key := wantKey{f.Pos.Filename, f.Pos.Line}
-		if i := matchWant(wants[key], f.Message); i >= 0 {
-			wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+		if i := matchWant(diagWants[key], f.Message); i >= 0 {
+			diagWants[key] = append(diagWants[key][:i], diagWants[key][i+1:]...)
 			continue
 		}
 		t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
 	}
-	for key, exps := range wants {
+	for key, exps := range diagWants {
 		for _, e := range exps {
 			t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, e.String())
+		}
+	}
+	checkFacts(t, fset, facts, tpkg, factWants)
+}
+
+// checkFacts matches the exported object facts of the package under test
+// against the name:"re" expectations, both ways.
+func checkFacts(t *testing.T, fset *token.FileSet, facts *analysis.Facts, tpkg *types.Package, wants map[wantKey][]*factWant) {
+	t.Helper()
+	for _, of := range facts.ObjectFactsOf(tpkg) {
+		pos := fset.Position(of.Object.Pos())
+		key := wantKey{pos.Filename, pos.Line}
+		matched := -1
+		for i, w := range wants[key] {
+			if w.name == of.Object.Name() && w.re.MatchString(fmt.Sprint(of.Fact)) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected fact on %s: %v", pos, of.Object.Name(), of.Fact)
+			continue
+		}
+		wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s:%d: no fact on %s matching %q", key.file, key.line, w.name, w.re.String())
 		}
 	}
 }
@@ -87,49 +141,83 @@ type wantKey struct {
 	line int
 }
 
-// collectWants parses the `// want` expectations of all files.
-func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*regexp.Regexp {
+// factWant is one name:"re" fact expectation.
+type factWant struct {
+	name string
+	re   *regexp.Regexp
+}
+
+// collectWants parses the `// want` expectations of all files: plain quoted
+// patterns are diagnostic expectations, name:"re" tokens are fact
+// expectations.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) (map[wantKey][]*regexp.Regexp, map[wantKey][]*factWant) {
 	t.Helper()
-	wants := map[wantKey][]*regexp.Regexp{}
+	diags := map[wantKey][]*regexp.Regexp{}
+	factW := map[wantKey][]*factWant{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
-				if !ok {
+				// The expectation may trail other comment content on the
+				// same line (e.g. asserting a diagnostic anchored to a
+				// malformed directive comment).
+				i := strings.LastIndex(c.Text, "// want ")
+				if i < 0 {
 					continue
 				}
+				rest := c.Text[i+len("// want "):]
 				pos := fset.Position(c.Pos())
 				key := wantKey{pos.Filename, pos.Line}
-				for _, pat := range splitPatterns(rest) {
-					re, err := regexp.Compile(pat)
+				for _, tok := range splitPatterns(t, pos, rest) {
+					re, err := regexp.Compile(tok.pattern)
 					if err != nil {
-						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						t.Fatalf("%s: bad want pattern %q: %v", pos, tok.pattern, err)
 					}
-					wants[key] = append(wants[key], re)
+					if tok.name != "" {
+						factW[key] = append(factW[key], &factWant{name: tok.name, re: re})
+					} else {
+						diags[key] = append(diags[key], re)
+					}
 				}
 			}
 		}
 	}
-	return wants
+	return diags, factW
 }
 
-// splitPatterns extracts the quoted or back-quoted expectation strings.
-func splitPatterns(s string) []string {
-	var pats []string
+// wantToken is one parsed expectation: a diagnostic pattern, or (with a
+// name) a fact assertion.
+type wantToken struct {
+	name    string
+	pattern string
+}
+
+// splitPatterns tokenizes a want comment: quoted or back-quoted patterns,
+// each optionally prefixed by an identifier and a colon.
+func splitPatterns(t *testing.T, pos token.Position, s string) []wantToken {
+	t.Helper()
+	var toks []wantToken
 	for {
 		s = strings.TrimSpace(s)
 		if s == "" {
-			return pats
+			return toks
+		}
+		var name string
+		if i := strings.IndexAny(s, ":`\""); i >= 0 && s[i] == ':' {
+			name = s[:i]
+			s = s[i+1:]
+			if s == "" {
+				t.Fatalf("%s: want expectation %q has a name but no pattern", pos, name)
+			}
 		}
 		quote := s[0]
 		if quote != '`' && quote != '"' {
-			return pats
+			t.Fatalf("%s: malformed want expectation near %q", pos, s)
 		}
 		end := strings.IndexByte(s[1:], quote)
 		if end < 0 {
-			return pats
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
 		}
-		pats = append(pats, s[1:1+end])
+		toks = append(toks, wantToken{name: name, pattern: s[1 : 1+end]})
 		s = s[end+2:]
 	}
 }
@@ -153,6 +241,18 @@ type loader struct {
 	root  string
 	std   types.Importer
 	cache map[string]*types.Package
+	// order records every in-tree package in type-check completion order —
+	// dependencies complete before their importers, so iterating order is a
+	// topological walk of the fixture's import DAG.
+	order []loadedPkg
+}
+
+// loadedPkg is one type-checked fixture package with everything an analyzer
+// pass needs.
+type loadedPkg struct {
+	files []*ast.File
+	tpkg  *types.Package
+	info  *types.Info
 }
 
 func (l *loader) check(pkgpath string) ([]*ast.File, *types.Package, *types.Info, error) {
@@ -185,6 +285,7 @@ func (l *loader) check(pkgpath string) ([]*ast.File, *types.Package, *types.Info
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	l.order = append(l.order, loadedPkg{files: files, tpkg: tpkg, info: info})
 	return files, tpkg, info, nil
 }
 

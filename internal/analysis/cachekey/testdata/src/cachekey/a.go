@@ -67,5 +67,5 @@ func stageMutates(env *stageEnv) {
 }
 
 func stageSuppressed(env *stageEnv, v float64) float64 {
-	return v * globalGain //postopc:nolint cachekey
+	return v * globalGain //postopc:nolint:cachekey fixture exercises suppression
 }

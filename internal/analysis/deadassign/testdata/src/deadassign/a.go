@@ -21,5 +21,5 @@ func goodCallDiscard(f func() error) {
 
 func suppressed() {
 	z := compute()
-	_ = z //postopc:nolint deadassign
+	_ = z //postopc:nolint:deadassign fixture exercises suppression
 }

@@ -32,10 +32,10 @@ var Analyzer = &analysis.Analyzer{
 // constructors are the math/rand top-level functions that build local
 // generators rather than drawing from the global source.
 var constructors = map[string]bool{
-	"New":       true,
-	"NewSource": true,
-	"NewZipf":   true,
-	"NewPCG":    true, // math/rand/v2
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
 	"NewChaCha8": true,
 }
 

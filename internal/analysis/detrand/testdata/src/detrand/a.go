@@ -18,5 +18,5 @@ func good(seed int64) int {
 }
 
 func suppressed() {
-	_ = rand.Int63() //postopc:nolint detrand
+	_ = rand.Int63() //postopc:nolint:detrand fixture exercises suppression
 }

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// factsSrc declares one of every ObjectPath-addressable shape.
+const factsSrc = `package p
+
+type T struct {
+	A int
+	B string
+}
+
+func (t T) M() int  { return t.A }
+func (t *T) PM()    {}
+func F()            {}
+
+var V int
+const C = 1
+`
+
+type testFact struct{ N int }
+
+func (*testFact) AFact() {}
+
+func (f *testFact) String() string { return "test" }
+
+// checkFactsSrc type-checks factsSrc into a fresh package.
+func checkFactsSrc(t *testing.T) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", factsSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestObjectPathShapes(t *testing.T) {
+	pkg := checkFactsSrc(t)
+	scope := pkg.Scope()
+	lookup := func(path string) types.Object {
+		obj := FindObject(pkg, path)
+		if obj == nil {
+			t.Fatalf("FindObject(%q) = nil", path)
+		}
+		return obj
+	}
+	for _, path := range []string{"T", "F", "V", "C", "T.M", "T.PM", "T.A", "T.B"} {
+		obj := lookup(path)
+		got, ok := ObjectPath(obj)
+		if !ok || got != path {
+			t.Errorf("ObjectPath(%v) = %q, %v; want %q", obj, got, ok, path)
+		}
+	}
+	// Package-scope lookups resolve to the same objects FindObject returns.
+	if lookup("T") != scope.Lookup("T") {
+		t.Errorf("FindObject(T) != scope lookup")
+	}
+	// Unaddressable paths resolve to nil, not a panic.
+	for _, path := range []string{"Missing", "T.Missing", "V.X"} {
+		if obj := FindObject(pkg, path); obj != nil {
+			t.Errorf("FindObject(%q) = %v; want nil", path, obj)
+		}
+	}
+}
+
+func TestFactsEncodeDecodeRoundTrip(t *testing.T) {
+	RegisterFactTypes([]*Analyzer{{Name: "test", FactTypes: []Fact{new(testFact)}}})
+
+	// Export facts against one type-check of the source...
+	pkgA := checkFactsSrc(t)
+	facts := NewFacts()
+	facts.setObject(pkgA.Scope().Lookup("F"), &testFact{N: 1})
+	facts.setObject(FindObject(pkgA, "T.M"), &testFact{N: 2})
+	facts.setObject(FindObject(pkgA, "T.A"), &testFact{N: 3})
+	facts.setPackage(pkgA.Path(), &testFact{N: 9})
+	data, err := facts.Encode(pkgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encoding is deterministic.
+	data2, err := facts.Encode(pkgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("Encode is not deterministic")
+	}
+
+	// ...and resolve them against an independent type-check, as a separate
+	// driver process (vet .cfg protocol) would.
+	pkgB := checkFactsSrc(t)
+	decoded := NewFacts()
+	if err := decoded.Decode(pkgB, data); err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]int{"F": 1, "T.M": 2, "T.A": 3} {
+		var got testFact
+		if !decoded.getObject(FindObject(pkgB, path), &got) {
+			t.Errorf("fact on %s lost in round trip", path)
+			continue
+		}
+		if got.N != want {
+			t.Errorf("fact on %s = %d; want %d", path, got.N, want)
+		}
+	}
+	var pf testFact
+	if !decoded.getPackage(pkgB.Path(), &pf) || pf.N != 9 {
+		t.Errorf("package fact = %+v; want N=9", pf)
+	}
+	// Facts never attached stay absent.
+	var absent testFact
+	if decoded.getObject(FindObject(pkgB, "V"), &absent) {
+		t.Errorf("unexpected fact on V")
+	}
+}
+
+func TestDecodeEmptyAndNil(t *testing.T) {
+	pkg := checkFactsSrc(t)
+	f := NewFacts()
+	if err := f.Decode(pkg, nil); err != nil {
+		t.Fatalf("Decode(nil) = %v", err)
+	}
+	if err := f.Decode(pkg, []byte{}); err != nil {
+		t.Fatalf("Decode(empty) = %v", err)
+	}
+}

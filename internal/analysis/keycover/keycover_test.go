@@ -1,0 +1,13 @@
+package keycover_test
+
+import (
+	"testing"
+
+	"postopc/internal/analysis/analysistest"
+	"postopc/internal/analysis/keycover"
+)
+
+func TestKeycover(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), keycover.Analyzer,
+		"keycover", "keycoverdep", "keycoveruse")
+}

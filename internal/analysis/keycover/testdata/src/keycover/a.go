@@ -1,0 +1,75 @@
+// Fixture for the keycover analyzer: local keyed types.
+package keycover
+
+// appendKeyInt stands in for geom.AppendKeyInt.
+func appendKeyInt(dst []byte, vs ...int64) []byte { return dst }
+
+// appendKeyFloat stands in for geom.AppendKeyFloat.
+func appendKeyFloat(dst []byte, vs ...float64) []byte { return dst }
+
+// Recipe is fully serialized.
+type Recipe struct { // want Recipe:`complete`
+	NA    float64
+	Rings int64
+}
+
+// AppendKey covers every field.
+func (r Recipe) AppendKey(dst []byte) []byte {
+	dst = appendKeyFloat(dst, r.NA)
+	return appendKeyInt(dst, r.Rings)
+}
+
+// Model's key misses Weight: the shape a deleted field write leaves behind.
+type Model struct { // want Model:`incomplete: missing Weight`
+	Sigma  float64
+	Weight float64 // want `cache key for Model omits field Weight`
+}
+
+// AppendKey forgets Weight.
+func (m Model) AppendKey(dst []byte) []byte {
+	return appendKeyFloat(dst, m.Sigma)
+}
+
+// Env is serialized field-by-field by envKey below; one exempted handle,
+// one genuinely missing field.
+type Env struct { // want Env:`incomplete: missing Extra` Env:`keyignore sink`
+	Opt   Recipe
+	Extra int64 // want `cache key for Env omits field Extra`
+	sink  *int  //postopc:keyignore write-only telemetry handle, never an input
+}
+
+// envKey is a signature function by virtue of calling AppendKey helpers.
+func envKey(e *Env) []byte {
+	return e.Opt.AppendKey(nil)
+}
+
+// Base is embedded in Holder; serializing every Base field through the
+// promoted selectors covers the embedded field.
+type Base struct {
+	A int64
+	B int64
+}
+
+// Holder embeds Base.
+type Holder struct { // want Holder:`complete`
+	Base
+	C int64
+}
+
+// holderKey covers Holder completely via promoted reads.
+func holderKey(h Holder) []byte {
+	b := appendKeyInt(nil, h.A, h.B)
+	return appendKeyInt(b, h.C)
+}
+
+// Padded exercises the keyignore reason requirement: the directive exempts
+// the field but is itself reported.
+type Padded struct { // want Padded:`complete` Padded:`keyignore pad`
+	V   int64
+	pad int64 //postopc:keyignore // want `keyignore directive is missing its reason`
+}
+
+// paddedKey serializes the one real field.
+func paddedKey(p Padded) []byte {
+	return appendKeyInt(nil, p.V)
+}

@@ -1,0 +1,35 @@
+// Package keycoverdep is the fixture dependency: its Coverage and Ignored
+// facts are consumed by the keycoveruse fixture.
+package keycoverdep
+
+// appendKeyInt stands in for geom.AppendKeyInt.
+func appendKeyInt(dst []byte, vs ...int64) []byte { return dst }
+
+// Opts is complete, with one documented exemption.
+type Opts struct { // want Opts:`complete` Opts:`keyignore Note`
+	A    int64
+	B    int64
+	Note string //postopc:keyignore free-form documentation, never an input
+}
+
+// AppendKey covers both real fields.
+func (o Opts) AppendKey(dst []byte) []byte {
+	return appendKeyInt(dst, o.A, o.B)
+}
+
+// Partial's key misses Skew.
+type Partial struct { // want Partial:`incomplete: missing Skew`
+	Gain float64
+	Skew float64 // want `cache key for Partial omits field Skew`
+}
+
+// AppendKey forgets Skew.
+func (p Partial) AppendKey(dst []byte) []byte {
+	return appendKeyInt(dst, int64(p.Gain))
+}
+
+// Plain has no key of its own; importers serialize it field-by-field.
+type Plain struct {
+	X int64
+	Y int64
+}

@@ -1,0 +1,26 @@
+// Package keycoveruse imports keycoverdep and exercises cross-package fact
+// consumption: exemptions recorded at a foreign declaration hold here, an
+// incomplete foreign key surfaces at the delegating field, and a
+// field-by-field serialization of a foreign struct is completeness-checked.
+package keycoveruse
+
+import "keycoverdep"
+
+// appendKeyInt stands in for geom.AppendKeyInt.
+func appendKeyInt(dst []byte, vs ...int64) []byte { return dst }
+
+// Env delegates Opt to a complete foreign key, Part to an incomplete one,
+// and serializes Raw field-by-field.
+type Env struct { // want Env:`complete`
+	Opt  keycoverdep.Opts
+	Part keycoverdep.Partial // want `field Part delegates to the incomplete cache key of keycoverdep.Partial \(missing Skew\)`
+	Raw  keycoverdep.Plain
+}
+
+// envKey serializes the environment.
+func envKey(e *Env) []byte {
+	b := e.Opt.AppendKey(nil)
+	b = e.Part.AppendKey(b)
+	b = appendKeyInt(b, e.Raw.X) // want `cache key serializes keycoverdep.Plain field-by-field but omits field Y`
+	return b
+}

@@ -18,6 +18,7 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"strings"
 
 	"postopc/internal/analysis"
 )
@@ -28,6 +29,15 @@ type Package struct {
 	ImportPath string
 	// Dir is the package source directory.
 	Dir string
+	// FactsOnly marks a package loaded purely as a dependency of the
+	// requested patterns: analyzers run over it so its facts reach
+	// importers, but its findings are not reported (the user did not ask
+	// about it).
+	FactsOnly bool
+	// Imports are the package's direct imports, as import paths. It
+	// includes standard-library imports; drivers intersect it with the
+	// loaded set to build the dependency graph facts flow along.
+	Imports []string
 	// Fset maps positions for Syntax.
 	Fset *token.FileSet
 	// Syntax holds the parsed files (comments included), one per GoFile.
@@ -43,7 +53,9 @@ type listedPackage struct {
 	Dir        string
 	ImportPath string
 	Name       string
+	Standard   bool
 	GoFiles    []string
+	Imports    []string
 	Error      *struct{ Err string }
 }
 
@@ -51,50 +63,133 @@ type listedPackage struct {
 // matched package parsed and type-checked. Test files are not loaded —
 // the analyzers enforce invariants on library code, and testdata trees are
 // never matched by the go command.
+//
+// Listed packages are checked in dependency order, and an importing
+// package resolves an import inside the loaded set to the very
+// *types.Package produced for it — never to an independent re-check by the
+// source importer. Object identity across the set is what lets analyzer
+// facts exported on a dependency's objects be found from its importers.
+//
+// In-module dependencies of the matched packages load too, marked
+// FactsOnly: their facts must reach the requested packages even when the
+// pattern names a subtree (linting ./internal/litho alone still sees the
+// allocfree annotations of internal/dsp), but nobody asked for their
+// findings. Standard-library dependencies are left to the source importer
+// — no analyzer exports facts on them.
 func Packages(dir string, patterns ...string) ([]*Package, error) {
+	requested, err := goListPaths(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
 	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
 	imp := newImporter(fset)
+	st := &loadState{fset: fset, imp: imp, listed: map[string]*listedPackage{}, done: map[string]*Package{}}
+	imp.loaded = st
+	for _, lp := range listed {
+		if !lp.Standard {
+			st.listed[lp.ImportPath] = lp
+		}
+	}
 	var pkgs []*Package
 	for _, lp := range listed {
-		if lp.Error != nil {
-			return nil, fmt.Errorf("load %s: %s", lp.ImportPath, lp.Error.Err)
-		}
-		if len(lp.GoFiles) == 0 {
+		if lp.Standard {
 			continue
 		}
-		var files []*ast.File
-		for _, name := range lp.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, err
-			}
-			files = append(files, f)
-		}
-		info := analysis.NewInfo()
-		conf := types.Config{Importer: imp.forDir(lp.Dir)}
-		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		p, err := st.load(lp)
 		if err != nil {
-			return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+			return nil, err
 		}
-		pkgs = append(pkgs, &Package{
-			ImportPath: lp.ImportPath,
-			Dir:        lp.Dir,
-			Fset:       fset,
-			Syntax:     files,
-			Types:      tpkg,
-			Info:       info,
-		})
+		if p != nil {
+			p.FactsOnly = !requested[p.ImportPath]
+			pkgs = append(pkgs, p)
+		}
 	}
 	return pkgs, nil
 }
 
-// goList enumerates packages matching the patterns.
+// loadState checks listed packages in dependency order, memoizing results
+// so each package is checked exactly once.
+type loadState struct {
+	fset   *token.FileSet
+	imp    *sharedImporter
+	listed map[string]*listedPackage
+	done   map[string]*Package
+}
+
+// load parses and type-checks one listed package after its in-set
+// dependencies. Import cycles cannot occur in valid Go; go list reports
+// them as package errors before we recurse.
+func (st *loadState) load(lp *listedPackage) (*Package, error) {
+	if p, ok := st.done[lp.ImportPath]; ok {
+		return p, nil
+	}
+	if lp.Error != nil {
+		return nil, fmt.Errorf("load %s: %s", lp.ImportPath, lp.Error.Err)
+	}
+	if len(lp.GoFiles) == 0 {
+		return nil, nil
+	}
+	for _, ipath := range lp.Imports {
+		if dep, ok := st.listed[ipath]; ok {
+			if _, err := st.load(dep); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(st.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: st.imp.forDir(lp.Dir)}
+	tpkg, err := conf.Check(lp.ImportPath, st.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+	}
+	p := &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Imports:    lp.Imports,
+		Fset:       st.fset,
+		Syntax:     files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	st.done[lp.ImportPath] = p
+	return p, nil
+}
+
+// goListPaths enumerates the import paths the patterns themselves match —
+// the packages whose findings the caller asked for.
+func goListPaths(dir string, patterns []string) (map[string]bool, error) {
+	args := append([]string{"list"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	paths := map[string]bool{}
+	for _, line := range strings.Fields(string(out)) {
+		paths[line] = true
+	}
+	return paths, nil
+}
+
+// goList enumerates packages matching the patterns plus every dependency
+// (-deps), so the loader can analyze in-module deps facts-only.
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-json"}, patterns...)
+	args := append([]string{"list", "-json", "-deps"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -120,9 +215,11 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 // sharedImporter wraps the standard library's source importer, which
 // resolves both standard-library and in-module imports from source. One
 // instance is shared across all loaded packages so each dependency is
-// type-checked at most once per run.
+// type-checked at most once per run; imports inside the loaded set resolve
+// to the loader's own check results, preserving object identity for facts.
 type sharedImporter struct {
-	from types.ImporterFrom
+	from   types.ImporterFrom
+	loaded *loadState
 }
 
 func newImporter(fset *token.FileSet) *sharedImporter {
@@ -132,14 +229,19 @@ func newImporter(fset *token.FileSet) *sharedImporter {
 // forDir returns a types.Importer that resolves imports relative to the
 // importing package's directory (required for correct module resolution).
 func (s *sharedImporter) forDir(dir string) types.Importer {
-	return dirImporter{s.from, dir}
+	return dirImporter{s, dir}
 }
 
 type dirImporter struct {
-	from types.ImporterFrom
-	dir  string
+	shared *sharedImporter
+	dir    string
 }
 
 func (d dirImporter) Import(path string) (*types.Package, error) {
-	return d.from.ImportFrom(path, d.dir, 0)
+	if st := d.shared.loaded; st != nil {
+		if p, ok := st.done[path]; ok {
+			return p.Types, nil
+		}
+	}
+	return d.shared.from.ImportFrom(path, d.dir, 0)
 }

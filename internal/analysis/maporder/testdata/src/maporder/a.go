@@ -67,7 +67,7 @@ func goodAggregate(m map[string]int) int {
 func suppressed(m map[string]int) []string {
 	var keys []string
 	for k := range m {
-		keys = append(keys, k) //postopc:nolint maporder
+		keys = append(keys, k) //postopc:nolint:maporder fixture exercises suppression
 	}
 	return keys
 }

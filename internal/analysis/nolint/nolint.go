@@ -1,0 +1,42 @@
+// Package nolint defines the analyzer that polices suppression hygiene:
+// every //postopc:nolint directive must scope itself to named analyzers
+// and state a reason.
+//
+// A bare suppression is a time bomb — six months later nobody can tell a
+// deliberate exemption from a silenced bug, and a blanket directive keeps
+// silencing analyzers that did not exist when it was written. The
+// framework therefore treats invalid directives as suppressing nothing
+// (see analysis.ParseNolint), and this analyzer turns them into findings
+// so they cannot linger.
+package nolint
+
+import (
+	"postopc/internal/analysis"
+)
+
+// Analyzer is the nolint-directive check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nolint",
+	Doc: "flag malformed //postopc:nolint directives\n\n" +
+		"A directive must name the analyzers it silences and give a reason:\n" +
+		"//postopc:nolint:detrand wall clock confined to obs by design.\n" +
+		"Bare or reason-less directives suppress nothing and are reported.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, d := range analysis.Nolints(pass.Fset, pass.Files) {
+		if d.Valid {
+			continue
+		}
+		if len(d.Names) == 0 {
+			pass.Reportf(d.Pos,
+				"nolint directive must name the analyzers it silences and give a reason: //postopc:nolint:<analyzer,...> <reason>")
+			continue
+		}
+		pass.Reportf(d.Pos,
+			"nolint directive for %v is missing its reason; append a justification after the analyzer list",
+			d.Names)
+	}
+	return nil
+}

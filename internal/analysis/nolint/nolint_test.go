@@ -1,0 +1,12 @@
+package nolint_test
+
+import (
+	"testing"
+
+	"postopc/internal/analysis/analysistest"
+	"postopc/internal/analysis/nolint"
+)
+
+func TestNolint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nolint.Analyzer, "nolint")
+}

@@ -1,0 +1,22 @@
+// Fixture for the nolint directive-grammar analyzer.
+package nolint
+
+func bare() {
+	_ = 1 //postopc:nolint // want `nolint directive must name the analyzers it silences and give a reason`
+}
+
+func legacySpace() {
+	_ = 2 //postopc:nolint maporder // want `nolint directive must name the analyzers it silences and give a reason`
+}
+
+func namesOnly() {
+	_ = 3 //postopc:nolint:maporder // want `nolint directive for \[maporder\] is missing its reason`
+}
+
+func commentReason() {
+	_ = 4 //postopc:nolint:maporder // a trailing comment is not a reason // want `nolint directive for \[maporder\] is missing its reason`
+}
+
+func valid() {
+	_ = 5 //postopc:nolint:maporder fixture exercises the valid form
+}

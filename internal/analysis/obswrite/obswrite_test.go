@@ -1,0 +1,13 @@
+package obswrite_test
+
+import (
+	"testing"
+
+	"postopc/internal/analysis/analysistest"
+	"postopc/internal/analysis/obswrite"
+)
+
+func TestObswrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), obswrite.Analyzer,
+		"obswriteuse", "obswritemain")
+}

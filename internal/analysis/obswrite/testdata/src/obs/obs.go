@@ -1,0 +1,27 @@
+// Package obs is a miniature stand-in for postopc/internal/obs: just enough
+// surface for the obswrite fixtures.
+package obs
+
+// Counter is a write-mostly metric.
+type Counter struct{ v int64 }
+
+// Add records an observation (write side).
+func (c *Counter) Add(d int64) { c.v += d }
+
+// Value reads the metric back (read side).
+func (c *Counter) Value() int64 { return c.v }
+
+// SpanID identifies a trace span.
+type SpanID uint64
+
+// Span is an open trace span.
+type Span struct{ ID SpanID }
+
+// Registry holds metrics.
+type Registry struct{ c Counter }
+
+// Counter returns a handle (write side: handle creation is fine).
+func (r *Registry) Counter(name string) *Counter { return &r.c }
+
+// Snapshot reads every metric (read side).
+func (r *Registry) Snapshot() map[string]int64 { return nil }

@@ -1,0 +1,11 @@
+// Command obswritemain shows that package main is the export boundary:
+// reads are allowed without suppression.
+package main
+
+import "obs"
+
+func main() {
+	var r obs.Registry
+	r.Counter("runs").Add(1)
+	_ = r.Snapshot() // no finding: package main may read telemetry
+}

@@ -1,0 +1,30 @@
+// Package obswriteuse is library code instrumented with obs: writes pass,
+// reads and span comparisons are flagged, suppressed readers need a reason.
+package obswriteuse
+
+import "obs"
+
+// record writes telemetry: allowed.
+func record(r *obs.Registry, n int64) {
+	r.Counter("windows").Add(n)
+}
+
+// peek reads a metric back into the computation.
+func peek(c *obs.Counter) int64 {
+	return c.Value() // want `library code reads telemetry via obs.Value; telemetry is write-only`
+}
+
+// dump snapshots the whole registry.
+func dump(r *obs.Registry) map[string]int64 {
+	return r.Snapshot() // want `library code reads telemetry via obs.Snapshot`
+}
+
+// sameSpan branches on trace topology.
+func sameSpan(a, b obs.SpanID) bool {
+	return a == b // want `library code compares telemetry span identifiers`
+}
+
+// boundary is an export-boundary reader with a documented suppression.
+func boundary(r *obs.Registry) map[string]int64 {
+	return r.Snapshot() //postopc:nolint:obswrite fixture stands in for the CLI report path
+}

@@ -68,7 +68,7 @@ func badLoopVar(rows [][]int) {
 func suppressed(n int) int {
 	best := 0
 	par.ForEach(n, func(i int) error {
-		best = i //postopc:nolint parcapture
+		best = i //postopc:nolint:parcapture fixture exercises suppression
 		return nil
 	})
 	return best

@@ -1,0 +1,92 @@
+package sarif_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"postopc/internal/analysis"
+	"postopc/internal/analysis/sarif"
+)
+
+// fixedInput builds a deterministic document: two analyzers (deliberately
+// given out of name order to exercise rule sorting), findings inside and
+// outside the root.
+func fixedInput() ([]*analysis.Analyzer, []analysis.Finding, string) {
+	analyzers := []*analysis.Analyzer{
+		{Name: "maporder", Doc: "flag map-range dependence\n\nlong text"},
+		{Name: "keycover", Doc: "flag incomplete cache keys"},
+	}
+	root := filepath.FromSlash("/repo")
+	findings := []analysis.Finding{
+		{
+			Analyzer: "keycover",
+			Message:  "cache key for T omits field X",
+			Pos:      token.Position{Filename: filepath.FromSlash("/repo/internal/a/a.go"), Line: 10, Column: 2},
+		},
+		{
+			Analyzer: "maporder",
+			Message:  "map iteration order reaches output",
+			Pos:      token.Position{Filename: filepath.FromSlash("/elsewhere/b.go"), Line: 3, Column: 1},
+		},
+	}
+	return analyzers, findings, root
+}
+
+func TestGolden(t *testing.T) {
+	analyzers, findings, root := fixedInput()
+	var buf bytes.Buffer
+	if err := sarif.Write(&buf, sarif.New("postopc-lint", analyzers, findings, root)); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.sarif")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+func TestDocumentShape(t *testing.T) {
+	analyzers, findings, root := fixedInput()
+	var buf bytes.Buffer
+	if err := sarif.Write(&buf, sarif.New("postopc-lint", analyzers, findings, root)); err != nil {
+		t.Fatal(err)
+	}
+	// The document must round-trip as generic JSON with the fields SARIF
+	// 2.1.0 consumers key on.
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if v := doc["version"]; v != "2.1.0" {
+		t.Errorf("version = %v; want 2.1.0", v)
+	}
+	runs := doc["runs"].([]any)
+	run := runs[0].(map[string]any)
+	rules := run["tool"].(map[string]any)["driver"].(map[string]any)["rules"].([]any)
+	if id0 := rules[0].(map[string]any)["id"]; id0 != "keycover" {
+		t.Errorf("rules[0].id = %v; want keycover (sorted by name)", id0)
+	}
+	results := run["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	r0 := results[0].(map[string]any)
+	if lvl := r0["level"]; lvl != "error" {
+		t.Errorf("results[0].level = %v; want error", lvl)
+	}
+	loc := r0["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	if uri := loc["artifactLocation"].(map[string]any)["uri"]; uri != "internal/a/a.go" {
+		t.Errorf("in-root URI = %v; want root-relative internal/a/a.go", uri)
+	}
+	// ruleIndex must point back into the sorted rule table.
+	if ri := r0["ruleIndex"]; ri != float64(0) {
+		t.Errorf("results[0].ruleIndex = %v; want 0", ri)
+	}
+}

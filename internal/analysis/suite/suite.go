@@ -6,20 +6,28 @@ package suite
 
 import (
 	"postopc/internal/analysis"
+	"postopc/internal/analysis/allocbudget"
 	"postopc/internal/analysis/cachekey"
 	"postopc/internal/analysis/deadassign"
 	"postopc/internal/analysis/detrand"
+	"postopc/internal/analysis/keycover"
 	"postopc/internal/analysis/maporder"
+	"postopc/internal/analysis/nolint"
+	"postopc/internal/analysis/obswrite"
 	"postopc/internal/analysis/parcapture"
 	"postopc/internal/analysis/unitsafe"
 )
 
 // Analyzers is the full suite, in run order.
 var Analyzers = []*analysis.Analyzer{
+	allocbudget.Analyzer,
 	cachekey.Analyzer,
 	deadassign.Analyzer,
 	detrand.Analyzer,
+	keycover.Analyzer,
 	maporder.Analyzer,
+	nolint.Analyzer,
+	obswrite.Analyzer,
 	parcapture.Analyzer,
 	unitsafe.Analyzer,
 }

@@ -34,5 +34,5 @@ func goodNonNM(scale int64) int64 {
 }
 
 func suppressed(r Rules) Coord {
-	return r.PolyPitchNM / 2.0 //postopc:nolint unitsafe
+	return r.PolyPitchNM / 2.0 //postopc:nolint:unitsafe fixture exercises suppression
 }

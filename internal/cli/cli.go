@@ -80,7 +80,7 @@ func (t *TelemetryFlags) Start() {
 	if isPort(t.metrics) {
 		reg := t.Sink.Metrics
 		go func() {
-			if err := http.ListenAndServe(t.metrics, obs.Handler(reg)); err != nil {
+			if err := http.ListenAndServe(t.metrics, obs.Handler(reg)); err != nil { //postopc:nolint:obswrite the -metrics server is the export boundary
 				Fatalf(t.tool, "metrics server: %v", err)
 			}
 		}()
@@ -100,7 +100,7 @@ func (t *TelemetryFlags) Close() {
 		if err != nil {
 			Fatal(t.tool, err)
 		}
-		werr := obs.WritePrometheus(f, t.Sink.Metrics.Snapshot())
+		werr := obs.WritePrometheus(f, t.Sink.Metrics.Snapshot()) //postopc:nolint:obswrite Close runs after the computation; this is the export boundary
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
@@ -114,14 +114,14 @@ func (t *TelemetryFlags) Close() {
 		if err != nil {
 			Fatal(t.tool, err)
 		}
-		werr := t.Sink.Trace.WriteChromeTrace(f)
+		werr := t.Sink.Trace.WriteChromeTrace(f) //postopc:nolint:obswrite Close runs after the computation; this is the export boundary
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
 			Fatal(t.tool, werr)
 		}
-		t.Sink.Trace.SummaryTable().Fprint(os.Stdout)
+		t.Sink.Trace.SummaryTable().Fprint(os.Stdout) //postopc:nolint:obswrite Close runs after the computation; this is the export boundary
 		fmt.Println("wrote trace to", t.trace)
 	}
 }

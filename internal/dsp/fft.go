@@ -11,6 +11,8 @@ import (
 )
 
 // NextPow2 returns the smallest power of two >= n (and >= 1).
+//
+//postopc:allocfree
 func NextPow2(n int) int {
 	if n <= 1 {
 		return 1
@@ -19,6 +21,8 @@ func NextPow2(n int) int {
 }
 
 // IsPow2 reports whether n is a positive power of two.
+//
+//postopc:allocfree
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // FFT performs an in-place forward radix-2 FFT on x. len(x) must be a power
@@ -56,9 +60,13 @@ func NewGrid(nx, ny int) *Grid {
 }
 
 // At returns element (ix, iy).
+//
+//postopc:allocfree
 func (g *Grid) At(ix, iy int) complex128 { return g.Data[iy*g.Nx+ix] }
 
 // Set assigns element (ix, iy).
+//
+//postopc:allocfree
 func (g *Grid) Set(ix, iy int, v complex128) { g.Data[iy*g.Nx+ix] = v }
 
 // Clone returns a deep copy of g.
@@ -69,6 +77,8 @@ func (g *Grid) Clone() *Grid {
 }
 
 // Clear zeroes every element in place.
+//
+//postopc:allocfree
 func (g *Grid) Clear() {
 	d := g.Data
 	for i := range d {
@@ -148,6 +158,8 @@ func (g *Grid) IFFT2DBandLimited(rows []int) error {
 // butterfly path — no per-column gather/scatter copy. The inverse 1/Ny
 // scaling is applied grid-wide, which divides each element exactly once,
 // the same operation the per-column scaling performed.
+//
+//postopc:allocfree
 func (g *Grid) transformColumns(inverse bool) {
 	fftColumnsBlocked(g.Data, g.Nx, planFor(g.Ny), inverse)
 	if inverse {
@@ -161,6 +173,8 @@ func (g *Grid) transformColumns(inverse bool) {
 
 // FreqIndex maps grid index i (0..n-1) to the signed frequency bin
 // (-n/2 .. n/2-1) using standard FFT ordering.
+//
+//postopc:allocfree
 func FreqIndex(i, n int) int {
 	if i <= n/2-1 {
 		return i
@@ -169,6 +183,8 @@ func FreqIndex(i, n int) int {
 }
 
 // Energy returns the sum of |v|² over the grid.
+//
+//postopc:allocfree
 func (g *Grid) Energy() float64 {
 	var s float64
 	for _, v := range g.Data {

@@ -17,14 +17,16 @@ var gridPool sync.Pool
 
 // BorrowGrid returns an Nx × Ny grid from the pool, allocating only when no
 // pooled grid is large enough. Contents are unspecified.
+//
+//postopc:allocfree
 func BorrowGrid(nx, ny int) *Grid {
 	g, _ := gridPool.Get().(*Grid)
 	if g == nil {
-		return NewGrid(nx, ny)
+		return NewGrid(nx, ny) //postopc:nolint:allocbudget pool miss before warm-up is the cold path
 	}
 	n := nx * ny
 	if cap(g.Data) < n {
-		g.Data = make([]complex128, n)
+		g.Data = make([]complex128, n) //postopc:nolint:allocbudget regrowth at a new window size is the cold path
 	}
 	g.Nx, g.Ny = nx, ny
 	g.Data = g.Data[:n]
@@ -33,6 +35,8 @@ func BorrowGrid(nx, ny int) *Grid {
 
 // ReturnGrid puts g back into the pool. The caller must not use g (or
 // slices of its Data) afterwards.
+//
+//postopc:allocfree
 func ReturnGrid(g *Grid) {
 	if g != nil {
 		gridPool.Put(g)

@@ -49,7 +49,7 @@ func (f *Flow) envFor(mode OPCMode) (*stageEnv, error) {
 		env.Rule = rt
 	}
 	b := geom.AppendKeyString(nil, "postopc/flow/v1")
-	b = geom.AppendKeyInt(b, int64(mode), int64(env.PitchNM))
+	b = geom.AppendKeyInt(b, int64(env.Mode), int64(env.PitchNM))
 	b = env.Verify.AppendKey(b)
 	b = env.OPCSim.AppendKey(b)
 	b = env.OPCOpt.AppendKey(b)
@@ -57,16 +57,16 @@ func (f *Flow) envFor(mode OPCMode) (*stageEnv, error) {
 		b = env.Rule.AppendKey(b)
 	}
 	b = env.CDX.AppendKey(b)
-	b = appendDevKey(b, env.Dev)
+	b = appendKeyDev(b, env.Dev)
 	env.fingerprint = b
 	return env, nil
 }
 
-// appendDevKey serializes the device model. The kit's device.Model keys its
+// appendKeyDev serializes the device model. The kit's device.Model keys its
 // parameters precisely; an injected model without AppendKey falls back to
 // its Go-syntax representation, which covers exported state of comparable
 // implementations.
-func appendDevKey(dst []byte, dev deviceModel) []byte {
+func appendKeyDev(dst []byte, dev deviceModel) []byte {
 	if k, ok := dev.(interface{ AppendKey([]byte) []byte }); ok {
 		return k.AppendKey(dst)
 	}
@@ -83,6 +83,7 @@ func windowSignature(env *stageEnv, clip layout.CanonicalWindow, sites []layout.
 	b = geom.AppendKeyInt(b, int64(len(sites)))
 	for _, s := range sites {
 		b = geom.AppendKeyString(b, s.Name)
+		b = geom.AppendKeyString(b, s.Pin)
 		b = geom.AppendKeyInt(b, int64(s.Kind))
 		b = geom.AppendKeyRect(b, s.Channel)
 	}

@@ -52,14 +52,14 @@ type stageEnv struct {
 
 	// fingerprint is the canonical serialization of every field above —
 	// the environment half of every window/tile signature.
-	fingerprint []byte
+	fingerprint []byte //postopc:keyignore the serialized key itself, not an input to it
 
 	// obs and met carry the run's telemetry (write-only, nil-safe). Like
 	// Workers, they are deliberately NOT part of fingerprint: telemetry
 	// observes a computation without being an input to it, so two runs
 	// differing only in instrumentation must share cache entries.
-	obs *obs.Sink
-	met stageMetrics
+	obs *obs.Sink    //postopc:keyignore telemetry observes the computation without being an input
+	met stageMetrics //postopc:keyignore telemetry observes the computation without being an input
 }
 
 // stageMetrics are the pre-resolved per-stage latency histograms of one

@@ -29,6 +29,8 @@ func NewRaster(w Rect, pixel Coord) *Raster {
 // pixel pitch, reusing the existing Data allocation when its capacity
 // allows. The result is indistinguishable from a fresh NewRaster, which
 // makes Raster values poolable.
+//
+//postopc:allocfree
 func (ra *Raster) Reset(w Rect, pixel Coord) {
 	if pixel <= 0 {
 		panic("geom: raster pixel pitch must be positive")
@@ -46,7 +48,7 @@ func (ra *Raster) Reset(w Rect, pixel Coord) {
 	ra.Nx = nx
 	ra.Ny = ny
 	if cap(ra.Data) < nx*ny {
-		ra.Data = make([]float64, nx*ny)
+		ra.Data = make([]float64, nx*ny) //postopc:nolint:allocbudget growth at a new raster size is the cold path
 		return
 	}
 	ra.Data = ra.Data[:nx*ny]
@@ -56,6 +58,8 @@ func (ra *Raster) Reset(w Rect, pixel Coord) {
 }
 
 // At returns the coverage of pixel (ix, iy); out-of-range pixels read 0.
+//
+//postopc:allocfree
 func (ra *Raster) At(ix, iy int) float64 {
 	if ix < 0 || iy < 0 || ix >= ra.Nx || iy >= ra.Ny {
 		return 0
@@ -65,6 +69,8 @@ func (ra *Raster) At(ix, iy int) float64 {
 
 // Set assigns the coverage of pixel (ix, iy); out-of-range writes are
 // ignored.
+//
+//postopc:allocfree
 func (ra *Raster) Set(ix, iy int, v float64) {
 	if ix < 0 || iy < 0 || ix >= ra.Nx || iy >= ra.Ny {
 		return

@@ -25,9 +25,13 @@ func R(x0, y0, x1, y1 Coord) Rect {
 func (r Rect) Empty() bool { return r.X0 >= r.X1 || r.Y0 >= r.Y1 }
 
 // W returns the width of r.
+//
+//postopc:allocfree
 func (r Rect) W() Coord { return r.X1 - r.X0 }
 
 // H returns the height of r.
+//
+//postopc:allocfree
 func (r Rect) H() Coord { return r.Y1 - r.Y0 }
 
 // Area returns the area of r in nm². Empty rectangles have zero area.

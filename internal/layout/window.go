@@ -14,7 +14,7 @@ import "postopc/internal/geom"
 type CanonicalWindow struct {
 	// Origin is the chip-space point mapped to (0,0); add it to canonical
 	// coordinates to return to chip space.
-	Origin geom.Point
+	Origin geom.Point //postopc:keyignore canonical windows are translation-normalized so identical patterns share cache entries regardless of placement
 	// Bounds is the window in canonical coordinates: (0, 0, W, H).
 	Bounds geom.Rect
 	// Polys is the clipped layer geometry in canonical coordinates,

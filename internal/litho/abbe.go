@@ -23,16 +23,16 @@ import (
 // transform, and an intensity accumulation.
 type Abbe struct {
 	recipe Recipe
-	source []SourcePoint
+	source []SourcePoint //postopc:keyignore derived deterministically from recipe by NewAbbe
 
-	mu   sync.RWMutex
-	bank map[filterKey]*filterSet
+	mu   sync.RWMutex             //postopc:keyignore lazy-state guard, not a simulation input
+	bank map[filterKey]*filterSet //postopc:keyignore memo of recipe-derived filters, not an independent input
 
 	// Telemetry handles (see Instrument); nil on an uninstrumented model.
 	// They are write-only and allocation-free, so the kernel's steady-state
 	// allocation budget holds with telemetry on or off.
-	hAerial *obs.Histogram
-	cBuilds *obs.Counter
+	hAerial *obs.Histogram //postopc:keyignore telemetry observes the computation without being an input
+	cBuilds *obs.Counter   //postopc:keyignore telemetry observes the computation without being an input
 }
 
 // Instrument attaches telemetry to the model: aerial latency under
@@ -94,6 +94,8 @@ func (a *Abbe) aerialOne(mask *geom.Raster, c Corner) (*Image, error) {
 
 // backgroundLevel is the transmission of the unpatterned field for the
 // recipe's polarity.
+//
+//postopc:allocfree
 func (a *Abbe) backgroundLevel() float64 {
 	if a.recipe.Polarity == DarkField {
 		return 0
@@ -104,6 +106,8 @@ func (a *Abbe) backgroundLevel() float64 {
 // transmissionGrid builds the complex transmission over a borrowed
 // power-of-two grid, padding outside the mask with the background level.
 // The caller owns the grid and must return it to the pool.
+//
+//postopc:allocfree
 func (a *Abbe) transmissionGrid(mask *geom.Raster, nx, ny int, bg float64) *dsp.Grid {
 	t := dsp.BorrowGrid(nx, ny)
 	for i := range t.Data {

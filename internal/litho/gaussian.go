@@ -31,7 +31,7 @@ type Gaussian struct {
 
 	// hAerial is the telemetry handle (see Instrument); nil when
 	// uninstrumented. Write-only and allocation-free.
-	hAerial *obs.Histogram
+	hAerial *obs.Histogram //postopc:keyignore telemetry observes the computation without being an input
 }
 
 // Instrument attaches telemetry to the model: aerial latency under

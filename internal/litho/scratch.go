@@ -49,12 +49,14 @@ func InstrumentPools(sink *obs.Sink) {
 	})
 }
 
+//postopc:allocfree
 func poolBorrowed() {
 	if pc := poolObs.Load(); pc != nil {
 		pc.borrows.Inc()
 	}
 }
 
+//postopc:allocfree
 func poolReturned() {
 	if pc := poolObs.Load(); pc != nil {
 		pc.returns.Inc()
@@ -74,11 +76,13 @@ type kernelScratch struct {
 
 var kernelScratchPool = sync.Pool{New: func() interface{} { return new(kernelScratch) }}
 
+//postopc:allocfree
 func borrowKernelScratch() *kernelScratch {
 	poolBorrowed()
 	return kernelScratchPool.Get().(*kernelScratch)
 }
 
+//postopc:allocfree
 func (s *kernelScratch) release() {
 	poolReturned()
 	kernelScratchPool.Put(s)
@@ -86,9 +90,11 @@ func (s *kernelScratch) release() {
 
 // growFloats returns a slice of length n, reusing s when its capacity
 // allows. Contents are unspecified.
+//
+//postopc:allocfree
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
-		return make([]float64, n)
+		return make([]float64, n) //postopc:nolint:allocbudget growth at a new buffer size is the cold path
 	}
 	return s[:n]
 }
@@ -98,11 +104,12 @@ func growFloats(s []float64, n int) []float64 {
 // callers hand it back with RecycleRaster once imaging is done.
 var rasterPool sync.Pool
 
+//postopc:allocfree
 func borrowRaster(window geom.Rect, pixel geom.Coord) *geom.Raster {
 	poolBorrowed()
 	ra, _ := rasterPool.Get().(*geom.Raster)
 	if ra == nil {
-		ra = new(geom.Raster)
+		ra = new(geom.Raster) //postopc:nolint:allocbudget pool miss before warm-up is the cold path
 	}
 	ra.Reset(window, pixel)
 	return ra
@@ -111,6 +118,8 @@ func borrowRaster(window geom.Rect, pixel geom.Coord) *geom.Raster {
 // RecycleRaster returns a raster obtained from RasterizeInWindow to the
 // internal pool. The caller must not use ra (or aliases of its Data)
 // afterwards. Safe to call with nil.
+//
+//postopc:allocfree
 func RecycleRaster(ra *geom.Raster) {
 	if ra != nil {
 		poolReturned()

@@ -16,12 +16,16 @@ var epoch = sysNow()
 // sysNow reads the system clock. Telemetry-only: nothing derived from it
 // may reach an algorithm or artifact (see the package determinism
 // contract).
+//
+//postopc:allocfree
 func sysNow() time.Time {
-	return time.Now() //postopc:nolint detrand
+	return time.Now() //postopc:nolint:detrand telemetry clock; readings never reach computed results
 }
 
 // Monotonic returns nanoseconds elapsed since process start on the
 // monotonic clock.
+//
+//postopc:allocfree
 func Monotonic() int64 {
 	return int64(sysNow().Sub(epoch))
 }

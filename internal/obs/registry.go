@@ -16,6 +16,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+//postopc:allocfree
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -24,6 +26,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Inc increments the counter by one.
+//
+//postopc:allocfree
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 for the nil handle).
@@ -41,6 +45,8 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//postopc:allocfree
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -90,6 +96,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one sample.
+//
+//postopc:allocfree
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -111,6 +119,8 @@ func (h *Histogram) Observe(v float64) {
 
 // StartTimer returns a start mark for ObserveSince, without reading the
 // clock when the handle is disabled.
+//
+//postopc:allocfree
 func (h *Histogram) StartTimer() int64 {
 	if h == nil {
 		return 0
@@ -119,6 +129,8 @@ func (h *Histogram) StartTimer() int64 {
 }
 
 // ObserveSince records the nanoseconds elapsed since a StartTimer mark.
+//
+//postopc:allocfree
 func (h *Histogram) ObserveSince(start int64) {
 	if h == nil {
 		return
