@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-sarif race bench bench-smoke bench-kernel bench-obs bench-sta check
+.PHONY: build test vet lint lint-sarif race bench bench-smoke bench-kernel bench-obs bench-sta bench-throughput check
 
 build:
 	$(GO) build ./...
@@ -64,3 +64,9 @@ bench-sta:
 # parallel extraction / ORC / Monte Carlo paths are exercised concurrently
 # by the flow tests).
 check: build vet lint test race
+
+# Batched-pipeline throughput smoke: one iteration of the windows/sec/core
+# bench on the -short repeated-context strip (per-window vs batched, cache
+# off and on). Reference numbers: BENCH_throughput.json.
+bench-throughput:
+	$(GO) test -short -run=NONE -bench=Throughput_BatchedPipeline -benchtime=1x .

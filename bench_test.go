@@ -10,6 +10,7 @@ package postopc
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -672,6 +673,101 @@ func BenchmarkAblation_WindowCache(b *testing.B) {
 		printOnce(b, i, func() {
 			tb.Fprint(stdout)
 			report.WriteSeriesCSV(stdout, []report.Series{hitS, spdS})
+		})
+	}
+}
+
+// BenchmarkThroughput_BatchedPipeline measures multi-window throughput of
+// full-chip extraction + ORC on a repeated-context strip chip, in
+// windows/sec/core: total windows pushed through the imaging pipeline
+// (gate extraction windows + ORC tiles) divided by wall time and by
+// GOMAXPROCS. Four modes share the same chip and the same core budget:
+//
+//	per-window            — the PR 4 baseline path (fork-join, no cache)
+//	per-window + cache    — fork-join with the content-addressed cache
+//	batched 16            — the staged prep/kernel/post pipeline, no cache
+//	batched 16 + cache    — the pipeline with Reserve-classified cache hits
+//
+// All four produce byte-identical results (pinned by the determinism
+// matrix in internal/flow/batch_test.go); this bench quantifies only the
+// rate. The headline number recorded in BENCH_throughput.json is the
+// speedup of "batched 16 + cache" over "per-window" on the strip chip.
+// Under -short a small block runs, sized for the CI smoke step
+// (`make bench-throughput`).
+func BenchmarkThroughput_BatchedPipeline(b *testing.B) {
+	f := getFixtures(b)
+	strip := place.Options{RowWidthNM: 2380}
+	stripTile := geom.Coord(2 * 2600)
+	nl := netlist.DatapathRegular(32, 10, 3)
+	if testing.Short() {
+		nl = netlist.DatapathRegular(12, 3, 3)
+	}
+	newFlow := func() *flow.Flow {
+		fl, err := flow.New(f.kit, flow.Config{Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fl
+	}
+	pl, err := newFlow().Place(nl, strip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type mode struct {
+		name  string
+		batch int
+		cache bool
+	}
+	modes := []mode{
+		{"per-window", 0, false},
+		{"per-window + cache", 0, true},
+		{"batched 16", 16, false},
+		{"batched 16 + cache", 16, true},
+	}
+	cores := float64(runtime.GOMAXPROCS(0))
+	for i := 0; i < b.N; i++ {
+		tb := report.NewTable("throughput: batched window pipeline, strip "+nl.Name+" (fast model)",
+			"mode", "windows", "wall", "windows/sec", "windows/sec/core", "speedup")
+		rateS := report.Series{Name: "windows_per_sec_per_core"}
+		var base time.Duration
+		var headline float64
+		for mi, md := range modes {
+			fl := newFlow()
+			if md.cache {
+				fl.EnableCache(0)
+			}
+			t0 := time.Now()
+			exts, err := fl.ExtractGates(pl.Chip, nil, flow.ExtractOptions{
+				Mode: flow.OPCModel, Batch: md.batch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := fl.VerifyChip(pl.Chip, flow.ORCOptions{
+				Mode: flow.OPCModel, TileNM: stripTile, Batch: md.batch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wall := time.Since(t0)
+			windows := len(exts) + rep.Tiles
+			rate := float64(windows) / wall.Seconds()
+			if mi == 0 {
+				base = wall
+			}
+			speedup := float64(base) / float64(wall)
+			if md.batch > 1 && md.cache {
+				headline = speedup
+			}
+			tb.AddF(2, md.name, windows, wall.Round(time.Millisecond).String(),
+				rate, rate/cores, speedup)
+			rateS.X = append(rateS.X, float64(mi))
+			rateS.Y = append(rateS.Y, rate/cores)
+		}
+		b.ReportMetric(headline, "speedup")
+		printOnce(b, i, func() {
+			tb.Fprint(stdout)
+			report.WriteSeriesCSV(stdout, []report.Series{rateS})
 		})
 	}
 }

@@ -118,56 +118,74 @@ func (s *Store) Instrument(sink *obs.Sink) *Store {
 	return s
 }
 
-// Do returns the value cached under k, computing it with compute if absent.
-// Concurrent calls for the same key run compute exactly once — the others
-// block until it finishes and share its result (single-flight). A failed
-// compute is not cached: its error is delivered to the callers that waited
-// on it, and the next Do for the key computes afresh.
-//
-// compute must be a pure function of the data hashed into k; the returned
-// value is shared between callers and must be treated as immutable.
-func (s *Store) Do(k Key, compute func() (any, error)) (any, error) {
-	t0 := s.hLookup.StartTimer()
-	sh := &s.shards[int(k[0])%numShards]
-	sh.mu.Lock()
-	if e, ok := sh.entries[k]; ok {
-		select {
-		case <-e.done: // already complete: a plain hit
-			sh.mu.Unlock()
-			s.hits.Add(1)
-			s.mHits.Inc()
-			s.hLookup.ObserveSince(t0)
-			return e.val, e.err
-		default: // in flight: wait for the leader
-			sh.mu.Unlock()
-			s.waits.Add(1)
-			s.mWaits.Inc()
-			s.hLookup.ObserveSince(t0)
-			tw := s.hWait.StartTimer()
-			<-e.done
-			s.hWait.ObserveSince(tw)
-			return e.val, e.err
-		}
-	}
-	e := &entry{done: make(chan struct{})}
-	sh.entries[k] = e
-	sh.mu.Unlock()
-	s.misses.Add(1)
-	s.mMisses.Inc()
-	s.hLookup.ObserveSince(t0)
+// Ticket is one claimed lookup, the batch-aware face of the single-flight
+// protocol. Reserve classifies the lookup immediately — hit, single-flight
+// wait, or leadership of a fresh computation — so a staged pipeline can
+// route each batch member without blocking: hits (Ready) read their value
+// at once and skip the compute stages, leaders run the computation and must
+// Complete it, and waiters carry the ticket to a later stage and Wait there.
+// The zero Ticket is invalid; tickets are passed by value and must not be
+// reused after Wait/Complete returns the result.
+type Ticket struct {
+	store  *Store
+	e      *entry
+	k      Key
+	leader bool
+}
 
-	e.val, e.err = compute()
+// Leader reports whether this ticket claimed the computation: exactly one
+// concurrent Reserve of a key wins leadership, and that caller must call
+// Complete exactly once (even on failure) or every waiter blocks forever.
+func (t Ticket) Leader() bool { return t.leader }
+
+// Ready reports whether the result was already published when it is called
+// — a plain cache hit whose Wait returns without blocking. Always false on
+// a leader ticket that has not completed.
+func (t Ticket) Ready() bool {
+	select {
+	case <-t.e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the result is published and returns it. On a leader
+// ticket Wait may only be called after Complete (it would otherwise wait
+// on itself). The single-flight wait histogram observes only waits that
+// actually block.
+func (t Ticket) Wait() (any, error) {
+	select {
+	case <-t.e.done:
+	default:
+		tw := t.store.hWait.StartTimer()
+		<-t.e.done
+		t.store.hWait.ObserveSince(tw)
+	}
+	return t.e.val, t.e.err
+}
+
+// Complete publishes the leader's result, wakes every waiter, and applies
+// the store's retention policy: successful values enter the FIFO eviction
+// queue, errors are never cached (the entry is removed so the next Reserve
+// leads a fresh computation, matching Do). Call exactly once, only on a
+// leader ticket, with the computation's own (unwrapped) error.
+func (t Ticket) Complete(val any, err error) {
+	e := t.e
+	e.val, e.err = val, err
 	close(e.done)
 
+	s := t.store
+	sh := &s.shards[int(t.k[0])%numShards]
 	sh.mu.Lock()
-	if e.err != nil {
+	if err != nil {
 		// Errors are not cached; only remove our own entry (a concurrent
 		// retry may already have replaced it).
-		if sh.entries[k] == e {
-			delete(sh.entries, k)
+		if sh.entries[t.k] == e {
+			delete(sh.entries, t.k)
 		}
 	} else {
-		sh.fifo = append(sh.fifo, k)
+		sh.fifo = append(sh.fifo, t.k)
 		for len(sh.fifo) > s.perShard {
 			old := sh.fifo[0]
 			sh.fifo = sh.fifo[1:]
@@ -177,7 +195,55 @@ func (s *Store) Do(k Key, compute func() (any, error)) (any, error) {
 		}
 	}
 	sh.mu.Unlock()
-	return e.val, e.err
+}
+
+// Reserve claims the lookup of k and classifies it: a completed entry is a
+// hit (Ready ticket), an in-flight entry is a single-flight wait, and an
+// absent key makes the caller the leader, obligated to Complete. The
+// hit/miss/wait counters are attributed here, exactly as Do attributes
+// them.
+func (s *Store) Reserve(k Key) Ticket {
+	t0 := s.hLookup.StartTimer()
+	sh := &s.shards[int(k[0])%numShards]
+	sh.mu.Lock()
+	if e, ok := sh.entries[k]; ok {
+		sh.mu.Unlock()
+		select {
+		case <-e.done: // already complete: a plain hit
+			s.hits.Add(1)
+			s.mHits.Inc()
+		default: // in flight: the caller will wait for the leader
+			s.waits.Add(1)
+			s.mWaits.Inc()
+		}
+		s.hLookup.ObserveSince(t0)
+		return Ticket{store: s, e: e, k: k}
+	}
+	e := &entry{done: make(chan struct{})}
+	sh.entries[k] = e
+	sh.mu.Unlock()
+	s.misses.Add(1)
+	s.mMisses.Inc()
+	s.hLookup.ObserveSince(t0)
+	return Ticket{store: s, e: e, k: k, leader: true}
+}
+
+// Do returns the value cached under k, computing it with compute if absent.
+// Concurrent calls for the same key run compute exactly once — the others
+// block until it finishes and share its result (single-flight). A failed
+// compute is not cached: its error is delivered to the callers that waited
+// on it, and the next Do for the key computes afresh.
+//
+// compute must be a pure function of the data hashed into k; the returned
+// value is shared between callers and must be treated as immutable.
+func (s *Store) Do(k Key, compute func() (any, error)) (any, error) {
+	t := s.Reserve(k)
+	if !t.leader {
+		return t.Wait()
+	}
+	val, err := compute()
+	t.Complete(val, err)
+	return val, err
 }
 
 // Stats snapshots the counters.

@@ -1,0 +1,158 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func tkey(b byte) Key {
+	var k Key
+	k[0] = b
+	k[1] = b
+	return k
+}
+
+// TestTicketLeaderThenHit pins the basic Reserve protocol: the first
+// reservation leads, Complete publishes, and the next reservation is a
+// ready hit sharing the value. Counters match Do's attribution.
+func TestTicketLeaderThenHit(t *testing.T) {
+	s := New(8)
+	t1 := s.Reserve(tkey(1))
+	if !t1.Leader() {
+		t.Fatal("first Reserve must lead")
+	}
+	if t1.Ready() {
+		t.Fatal("leader ticket ready before Complete")
+	}
+	t1.Complete("v", nil)
+	if v, err := t1.Wait(); err != nil || v != "v" {
+		t.Fatalf("leader Wait after Complete = (%v, %v)", v, err)
+	}
+
+	t2 := s.Reserve(tkey(1))
+	if t2.Leader() {
+		t.Fatal("second Reserve of a completed key must not lead")
+	}
+	if !t2.Ready() {
+		t.Fatal("completed entry must be Ready")
+	}
+	if v, err := t2.Wait(); err != nil || v != "v" {
+		t.Fatalf("hit Wait = (%v, %v)", v, err)
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Waits != 0 {
+		t.Fatalf("stats = %+v, want 1 miss / 1 hit / 0 waits", st)
+	}
+}
+
+// TestTicketSingleFlight checks that concurrent reservations of one key
+// elect exactly one leader, every waiter blocks until Complete and shares
+// the published value, and the wait counter attributes them.
+func TestTicketSingleFlight(t *testing.T) {
+	s := New(8)
+	lead := s.Reserve(tkey(2))
+	if !lead.Leader() {
+		t.Fatal("first Reserve must lead")
+	}
+
+	const waiters = 4
+	got := make([]any, waiters)
+	var started, done sync.WaitGroup
+	for w := 0; w < waiters; w++ {
+		started.Add(1)
+		done.Add(1)
+		go func(w int) {
+			defer done.Done()
+			tk := s.Reserve(tkey(2))
+			if tk.Leader() {
+				t.Error("waiter elected leader while computation in flight")
+			}
+			started.Done()
+			v, err := tk.Wait()
+			if err != nil {
+				t.Error(err)
+			}
+			got[w] = v
+		}(w)
+	}
+	started.Wait()
+	lead.Complete(42, nil)
+	done.Wait()
+	for w := range got {
+		if got[w] != 42 {
+			t.Fatalf("waiter %d got %v, want 42", w, got[w])
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Waits != waiters {
+		t.Fatalf("stats = %+v, want 1 miss / %d waits", st, waiters)
+	}
+}
+
+// TestTicketErrorNotCached checks error retention parity with Do: a leader
+// completing with an error delivers it to its waiters, but the next
+// reservation leads a fresh computation.
+func TestTicketErrorNotCached(t *testing.T) {
+	s := New(8)
+	boom := errors.New("boom")
+
+	lead := s.Reserve(tkey(3))
+	waitTk := s.Reserve(tkey(3))
+	lead.Complete(nil, boom)
+	if _, err := waitTk.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("waiter error = %v, want boom", err)
+	}
+
+	retry := s.Reserve(tkey(3))
+	if !retry.Leader() {
+		t.Fatal("Reserve after a failed computation must lead afresh")
+	}
+	retry.Complete("ok", nil)
+	if v, err := s.Do(tkey(3), func() (any, error) { return nil, errors.New("must not run") }); err != nil || v != "ok" {
+		t.Fatalf("Do after retry = (%v, %v), want cached ok", v, err)
+	}
+}
+
+// TestTicketDoInterop checks that Reserve/Do share one single-flight
+// domain: a Do call issued while a ticket leads the key waits for the
+// ticket's Complete instead of recomputing.
+func TestTicketDoInterop(t *testing.T) {
+	s := New(8)
+	lead := s.Reserve(tkey(4))
+
+	res := make(chan any, 1)
+	go func() {
+		v, _ := s.Do(tkey(4), func() (any, error) { return "recomputed", nil })
+		res <- v
+	}()
+	lead.Complete("led", nil)
+	if v := <-res; v != "led" {
+		t.Fatalf("Do got %v, want the ticket leader's value", v)
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 miss across Reserve and Do", st)
+	}
+}
+
+// TestTicketEviction checks Complete applies the FIFO bound exactly as Do
+// does.
+func TestTicketEviction(t *testing.T) {
+	s := New(numShards) // one completed entry per shard
+	// Same shard (same leading byte), three keys: the first must evict.
+	k1, k2 := tkey(5), tkey(5)
+	k2[1] = 99
+	a := s.Reserve(k1)
+	a.Complete(1, nil)
+	b := s.Reserve(k2)
+	b.Complete(2, nil)
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if tk := s.Reserve(k1); !tk.Leader() {
+		t.Fatal("evicted key must lead a fresh computation")
+	} else {
+		tk.Complete(1, nil)
+	}
+}

@@ -1,0 +1,154 @@
+package dsp
+
+import "fmt"
+
+// BatchPlan executes same-size 2-D transforms over many grids with one plan
+// resolution: the bit-reversal and twiddle tables of both dimensions are
+// looked up once when the plan is built and reused for every grid of the
+// batch, and the column passes interleave their cache-blocked butterflies
+// across grids instead of finishing one grid before touching the next.
+//
+// Determinism contract: for every grid in the batch the sequence of
+// floating-point operations applied to that grid is identical to the
+// corresponding single-grid Grid method (FFT2D, IFFT2D, FFT2DBandSelect,
+// IFFT2DBandLimited) — the tables come from the same plan cache and each
+// column/row runs the same butterfly code — so batched and per-grid
+// transforms are bit-identical. Only the interleaving across (independent)
+// grids differs.
+type BatchPlan struct {
+	nx, ny   int
+	row, col *plan
+}
+
+// PlanBatch resolves the transform plans for nx × ny grids. Both dimensions
+// must be powers of two.
+func PlanBatch(nx, ny int) (*BatchPlan, error) {
+	if !IsPow2(nx) || !IsPow2(ny) {
+		return nil, fmt.Errorf("dsp: batch plan %dx%d not power-of-two", nx, ny)
+	}
+	return &BatchPlan{nx: nx, ny: ny, row: planFor(nx), col: planFor(ny)}, nil
+}
+
+// Size returns the planned grid dimensions.
+//
+//postopc:allocfree
+func (bp *BatchPlan) Size() (nx, ny int) { return bp.nx, bp.ny }
+
+// check verifies every grid matches the planned size.
+func (bp *BatchPlan) check(grids []*Grid) error {
+	for _, g := range grids {
+		if g.Nx != bp.nx || g.Ny != bp.ny {
+			return fmt.Errorf("dsp: grid %dx%d in batch planned for %dx%d", g.Nx, g.Ny, bp.nx, bp.ny)
+		}
+	}
+	return nil
+}
+
+// checkRows verifies the row selection stays inside the planned grid.
+func (bp *BatchPlan) checkRows(rows []int) error {
+	for _, iy := range rows {
+		if iy < 0 || iy >= bp.ny {
+			return fmt.Errorf("dsp: batch row %d outside grid of %d rows", iy, bp.ny)
+		}
+	}
+	return nil
+}
+
+// rowsAll transforms the listed spectrum rows (all rows when rows is nil)
+// of every grid through the shared row plan.
+//
+//postopc:allocfree
+func (bp *BatchPlan) rowsAll(grids []*Grid, rows []int, inverse bool) {
+	for _, g := range grids {
+		if rows == nil {
+			for iy := 0; iy < bp.ny; iy++ {
+				fftLine(g.Data[iy*bp.nx:(iy+1)*bp.nx], bp.row, inverse)
+			}
+			continue
+		}
+		for _, iy := range rows {
+			fftLine(g.Data[iy*bp.nx:(iy+1)*bp.nx], bp.row, inverse)
+		}
+	}
+}
+
+// columnsAll transforms every column of every grid, interleaving the
+// cache-blocked butterflies across grids: block b of grid 0 is followed by
+// block b of grid 1, so the (shared, hot) twiddle tables stay resident
+// while the batch streams through memory. The inverse 1/Ny scaling divides
+// each element exactly once, as transformColumns does.
+//
+//postopc:allocfree
+func (bp *BatchPlan) columnsAll(grids []*Grid, inverse bool) {
+	for c0 := 0; c0 < bp.nx; c0 += columnBlockW {
+		cw := columnBlockW
+		if bp.nx-c0 < cw {
+			cw = bp.nx - c0
+		}
+		for _, g := range grids {
+			fftColumnsBlock(g.Data, bp.nx, bp.col, inverse, c0, cw)
+		}
+	}
+	if inverse {
+		nC := complex(float64(bp.ny), 0)
+		for _, g := range grids {
+			d := g.Data
+			for i := range d {
+				d[i] /= nC
+			}
+		}
+	}
+}
+
+// FFT2DAll performs the forward 2-D FFT over every grid in place —
+// bit-identical per grid to Grid.FFT2D (rows first, then columns).
+func (bp *BatchPlan) FFT2DAll(grids []*Grid) error {
+	if err := bp.check(grids); err != nil {
+		return err
+	}
+	bp.rowsAll(grids, nil, false)
+	bp.columnsAll(grids, false)
+	return nil
+}
+
+// IFFT2DAll performs the inverse 2-D FFT (scaled) over every grid in place
+// — bit-identical per grid to Grid.IFFT2D.
+func (bp *BatchPlan) IFFT2DAll(grids []*Grid) error {
+	if err := bp.check(grids); err != nil {
+		return err
+	}
+	bp.rowsAll(grids, nil, true)
+	bp.columnsAll(grids, true)
+	return nil
+}
+
+// FFT2DBandSelectAll performs the forward transform of every grid computing
+// only the listed spectrum rows — bit-identical per grid to
+// Grid.FFT2DBandSelect (full column pass, then the selected rows). Rows
+// outside the list are left partially transformed and must not be read.
+func (bp *BatchPlan) FFT2DBandSelectAll(grids []*Grid, rows []int) error {
+	if err := bp.check(grids); err != nil {
+		return err
+	}
+	if err := bp.checkRows(rows); err != nil {
+		return err
+	}
+	bp.columnsAll(grids, false)
+	bp.rowsAll(grids, rows, false)
+	return nil
+}
+
+// IFFT2DBandLimitedAll performs the inverse transform of spectra whose
+// energy is confined to the listed rows — bit-identical per grid to
+// Grid.IFFT2DBandLimited. Rows outside the list must be zero.
+func (bp *BatchPlan) IFFT2DBandLimitedAll(grids []*Grid, rows []int) error {
+	if err := bp.check(grids); err != nil {
+		return err
+	}
+	if err := bp.checkRows(rows); err != nil {
+		return err
+	}
+	bp.rowsAll(grids, rows, true)
+	bp.columnsAll(grids, true)
+	return nil
+}

@@ -1,0 +1,153 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// cloneBatch deep-copies a batch of grids.
+func cloneBatch(grids []*Grid) []*Grid {
+	out := make([]*Grid, len(grids))
+	for i, g := range grids {
+		out[i] = g.Clone()
+	}
+	return out
+}
+
+// equalBits compares two grids for exact (bit-level) equality.
+func equalBits(t *testing.T, tag string, i int, a, b *Grid) {
+	t.Helper()
+	if a.Nx != b.Nx || a.Ny != b.Ny {
+		t.Fatalf("%s grid %d: size %dx%d vs %dx%d", tag, i, a.Nx, a.Ny, b.Nx, b.Ny)
+	}
+	for j := range a.Data {
+		if a.Data[j] != b.Data[j] {
+			t.Fatalf("%s grid %d: element %d = %v, want %v", tag, i, j, a.Data[j], b.Data[j])
+		}
+	}
+}
+
+// TestBatchPlanBitIdentical asserts the batched transforms are bit-identical
+// per grid to the single-grid Grid methods, for every direction and band
+// variant, on a batch of differing contents (including a non-square size).
+func TestBatchPlanBitIdentical(t *testing.T) {
+	for _, dims := range []struct{ nx, ny int }{{32, 32}, {64, 16}} {
+		rnd := rand.New(rand.NewSource(7))
+		batch := make([]*Grid, 5)
+		for i := range batch {
+			batch[i] = randGrid(rnd, dims.nx, dims.ny)
+		}
+		bp, err := PlanBatch(dims.nx, dims.ny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := []int{0, 1, 2, dims.ny - 2, dims.ny - 1}
+
+		// Forward full.
+		want := cloneBatch(batch)
+		for _, g := range want {
+			if err := g.FFT2D(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := cloneBatch(batch)
+		if err := bp.FFT2DAll(got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			equalBits(t, "FFT2DAll", i, got[i], want[i])
+		}
+
+		// Inverse full (of the forward spectra).
+		back := cloneBatch(want)
+		for _, g := range back {
+			if err := g.IFFT2D(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got2 := cloneBatch(want)
+		if err := bp.IFFT2DAll(got2); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got2 {
+			equalBits(t, "IFFT2DAll", i, got2[i], back[i])
+		}
+
+		// Band-selected forward: only the selected rows are defined.
+		wantSel := cloneBatch(batch)
+		for _, g := range wantSel {
+			if err := g.FFT2DBandSelect(rows); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gotSel := cloneBatch(batch)
+		if err := bp.FFT2DBandSelectAll(gotSel, rows); err != nil {
+			t.Fatal(err)
+		}
+		for i := range gotSel {
+			for _, iy := range rows {
+				for ix := 0; ix < dims.nx; ix++ {
+					if gotSel[i].At(ix, iy) != wantSel[i].At(ix, iy) {
+						t.Fatalf("FFT2DBandSelectAll grid %d row %d col %d diverged", i, iy, ix)
+					}
+				}
+			}
+		}
+
+		// Band-limited inverse: spectra zero outside the selected rows.
+		spectra := make([]*Grid, len(batch))
+		for i := range spectra {
+			g := NewGrid(dims.nx, dims.ny)
+			for _, iy := range rows {
+				for ix := 0; ix < dims.nx; ix++ {
+					g.Set(ix, iy, complex(rnd.NormFloat64(), rnd.NormFloat64()))
+				}
+			}
+			spectra[i] = g
+		}
+		wantInv := cloneBatch(spectra)
+		for _, g := range wantInv {
+			if err := g.IFFT2DBandLimited(rows); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gotInv := cloneBatch(spectra)
+		if err := bp.IFFT2DBandLimitedAll(gotInv, rows); err != nil {
+			t.Fatal(err)
+		}
+		for i := range gotInv {
+			equalBits(t, "IFFT2DBandLimitedAll", i, gotInv[i], wantInv[i])
+		}
+	}
+}
+
+// TestBatchPlanRejectsMismatch asserts size and row validation.
+func TestBatchPlanRejectsMismatch(t *testing.T) {
+	if _, err := PlanBatch(12, 16); err == nil {
+		t.Fatal("PlanBatch accepted a non-power-of-two width")
+	}
+	bp, err := PlanBatch(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.FFT2DAll([]*Grid{NewGrid(16, 16), NewGrid(32, 16)}); err == nil {
+		t.Fatal("FFT2DAll accepted a mis-sized grid")
+	}
+	if err := bp.FFT2DBandSelectAll([]*Grid{NewGrid(16, 16)}, []int{16}); err == nil {
+		t.Fatal("FFT2DBandSelectAll accepted an out-of-range row")
+	}
+	if err := bp.IFFT2DBandLimitedAll([]*Grid{NewGrid(16, 16)}, []int{-1}); err == nil {
+		t.Fatal("IFFT2DBandLimitedAll accepted a negative row")
+	}
+}
+
+// TestBatchPlanEmptyBatch asserts the degenerate no-grid batch is a no-op.
+func TestBatchPlanEmptyBatch(t *testing.T) {
+	bp, err := PlanBatch(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.FFT2DAll(nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,438 @@
+package flow
+
+import (
+	"fmt"
+
+	"postopc/internal/cache"
+	"postopc/internal/cdx"
+	"postopc/internal/geom"
+	"postopc/internal/layout"
+	"postopc/internal/litho"
+	"postopc/internal/obs"
+	"postopc/internal/par"
+)
+
+// This file is the batched window pipeline: instead of fork-joining one
+// goroutine per window (par.ForEach over extractInstance / verifyTile),
+// windows are grouped into batches of opt.Batch and streamed through a
+// three-stage par.Pipeline —
+//
+//	prep:   clip → canonicalize → signature   (pure geometry, no kernels)
+//	kernel: cache reservation + OPC → batched image → contour/profile
+//	post:   single-flight waits + artifact → result mapping
+//
+// — so clipping of later batches overlaps imaging of earlier ones, and the
+// kernel stage amortizes FFT plans, filter-bank lookups and scratch across
+// a whole batch via litho.BatchModel.AerialBatch.
+//
+// Determinism: every float is produced by the same stage functions the
+// per-window path runs (stages.go), batch members write into
+// index-addressed slots, and batches are admitted in ascending order with
+// the lowest failing batch's lowest item error returned — so batched
+// output is byte-identical to the per-window path at any worker count and
+// batch size, cache on or off.
+//
+// Cache discipline (deadlock freedom): tickets are claimed AND completed
+// inside the kernel stage's Fn — a leader never crosses a channel between
+// Reserve and Complete. Only non-leader (wait) tickets flow to the post
+// stage; every such wait is on a leader that is actively executing a
+// kernel Fn (never parked on a channel send, which happens only after its
+// Fn returns), so post-stage waits always terminate. Ready hits resolve in
+// place and skip the kernel work entirely.
+
+// batchRange returns the item index range [lo, hi) of batch b over n items
+// split into batches of size.
+func batchRange(n, size, b int) (lo, hi int) {
+	lo = b * size
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// stageImageBatch rasterizes and images a set of masks, routing them
+// through the verification model's batch entry point when it has one. On a
+// batch-level error it falls back to imaging each window individually so
+// every member surfaces exactly the error the per-window path would.
+// Rasters are pooled scratch and are recycled before returning, whatever
+// the outcome.
+func stageImageBatch(env *stageEnv, masks [][]geom.Polygon, bounds []geom.Rect, corners []litho.Corner) ([][]*litho.Image, []error) {
+	n := len(masks)
+	imgs := make([][]*litho.Image, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return imgs, errs
+	}
+	recipe := env.Verify.Recipe()
+	rasters := make([]*geom.Raster, n)
+	for i := range masks {
+		rasters[i] = litho.RasterizeInWindow(masks[i], bounds[i], recipe.PixelNM)
+	}
+	batched := false
+	if bm, ok := env.Verify.(litho.BatchModel); ok {
+		if out, err := bm.AerialBatch(rasters, corners); err == nil {
+			copy(imgs, out)
+			batched = true
+		}
+	}
+	if !batched {
+		for i := range masks {
+			imgs[i], errs[i] = env.Verify.AerialSeries(rasters[i], corners)
+		}
+	}
+	for _, r := range rasters {
+		litho.RecycleRaster(r)
+	}
+	return imgs, errs
+}
+
+// stageWindowBatch computes the window artifacts of one batch: per-window
+// OPC (identical to stageWindow's), one batched imaging call, per-window
+// contour → profile. Results and errors are parallel to clips; a window
+// failing OPC drops out of imaging with its own error.
+func stageWindowBatch(env *stageEnv, clips []layout.CanonicalWindow, sites [][]layout.GateSite, corners []litho.Corner, parent obs.SpanID) ([]*WindowArtifact, []error) {
+	n := len(clips)
+	arts := make([]*WindowArtifact, n)
+	errs := make([]error, n)
+	masks := make([][]geom.Polygon, 0, n)
+	bounds := make([]geom.Rect, 0, n)
+	epeVals := make([][]float64, n)
+	live := make([]int, 0, n)
+	for i := range clips {
+		mask, vals, err := stageWindowOPC(env, clips[i], parent)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		epeVals[i] = vals
+		masks = append(masks, mask)
+		bounds = append(bounds, clips[i].Bounds)
+		live = append(live, i)
+	}
+	sp := env.obs.StartChild("stage.image", parent)
+	t0 := env.met.image.StartTimer()
+	imgs, imgErrs := stageImageBatch(env, masks, bounds, corners)
+	env.met.image.ObserveSince(t0)
+	sp.End()
+	for k, i := range live {
+		if imgErrs[k] != nil {
+			errs[i] = imgErrs[k]
+			continue
+		}
+		arts[i] = stageWindowArtifact(env, imgs[k], sites[i], corners, epeVals[i], parent)
+	}
+	return arts, errs
+}
+
+// stageTileBatch is stageWindowBatch's ORC counterpart: per-tile OPC, one
+// batched imaging call, per-tile pinch/bridge/pullback scans.
+func stageTileBatch(env *stageEnv, rects [][]geom.Rect, bounds, tiles []geom.Rect, corners []litho.Corner, scan orcScanOptions, parent obs.SpanID) ([]*TileArtifact, []error) {
+	n := len(rects)
+	arts := make([]*TileArtifact, n)
+	errs := make([]error, n)
+	masks := make([][]geom.Polygon, 0, n)
+	mBounds := make([]geom.Rect, 0, n)
+	live := make([]int, 0, n)
+	for i := range rects {
+		mask, err := stageTileMask(env, rects[i], parent)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		masks = append(masks, mask)
+		mBounds = append(mBounds, bounds[i])
+		live = append(live, i)
+	}
+	sp := env.obs.StartChild("stage.image", parent)
+	t0 := env.met.image.StartTimer()
+	imgs, imgErrs := stageImageBatch(env, masks, mBounds, corners)
+	env.met.image.ObserveSince(t0)
+	sp.End()
+	for k, i := range live {
+		if imgErrs[k] != nil {
+			errs[i] = imgErrs[k]
+			continue
+		}
+		arts[i] = stageTileArtifact(env, imgs[k], rects[i], tiles[i], corners, scan)
+	}
+	return arts, errs
+}
+
+// windowItem threads one instance's window through the pipeline stages.
+// Items live in one index-addressed slice, so no stage ever depends on
+// scheduling for where it reads or writes.
+type windowItem struct {
+	err    error
+	skip   bool // prep produced the final error; no wrapping, no kernel work
+	clip   layout.CanonicalWindow
+	csites []layout.GateSite
+	key    cache.Key
+	ticket cache.Ticket
+	wait   bool // non-leader ticket: resolved by the post stage
+	art    *WindowArtifact
+}
+
+// extractGatesBatched is the Batch > 1 path of ExtractGates: the resolved
+// instances stream through the prep → kernel → post pipeline in batches of
+// opt.Batch, and results land in the same index-addressed exts slots the
+// per-window path fills.
+func (f *Flow) extractGatesBatched(env *stageEnv, chip *layout.Chip, insts []*layout.Instance, opt ExtractOptions, exts []*GateExtraction, parent obs.SpanID) error {
+	n := len(insts)
+	size := opt.Batch
+	batches := (n + size - 1) / size
+	items := make([]windowItem, n)
+	ambit := env.Verify.Recipe().GuardNM + env.PitchNM
+
+	stages := []par.Stage{
+		{Name: "prep", Fn: func(b int) error {
+			lo, hi := batchRange(n, size, b)
+			for i := lo; i < hi; i++ {
+				it := &items[i]
+				inst := insts[i]
+				sites := inst.GateSites()
+				if len(sites) == 0 {
+					it.err = fmt.Errorf("flow: instance %s has no gate sites", inst.Name)
+					it.skip = true
+					continue
+				}
+				sp := env.obs.StartChild("stage.clip", parent)
+				t0 := env.met.clip.StartTimer()
+				window := cdx.WindowOf(sites, ambit)
+				it.clip = stageClip(chip, window)
+				env.met.clip.ObserveSince(t0)
+				sp.End()
+				if len(it.clip.Polys) == 0 {
+					it.err = fmt.Errorf("flow: no poly in window of %s", inst.Name)
+					it.skip = true
+					continue
+				}
+				sp = env.obs.StartChild("stage.canonicalize", parent)
+				t0 = env.met.canonicalize.StartTimer()
+				it.csites = make([]layout.GateSite, len(sites))
+				for si, s := range sites {
+					it.csites[si] = layout.GateSite{
+						Name:    localSiteName(s.Name),
+						Pin:     s.Pin,
+						Kind:    s.Kind,
+						Channel: s.Channel.Translate(geom.Pt(-it.clip.Origin.X, -it.clip.Origin.Y)),
+					}
+				}
+				env.met.canonicalize.ObserveSince(t0)
+				sp.End()
+				if f.Cache != nil {
+					it.key = windowSignature(env, it.clip, it.csites, opt.Corners)
+				}
+			}
+			return nil
+		}},
+		{Name: "kernel", Fn: func(b int) error {
+			lo, hi := batchRange(n, size, b)
+			// Classify each member: ready hits resolve here and skip the
+			// kernels, leaders compute below, non-leaders wait in post.
+			var leaders []int
+			for i := lo; i < hi; i++ {
+				it := &items[i]
+				if it.skip {
+					continue
+				}
+				if f.Cache == nil {
+					leaders = append(leaders, i)
+					continue
+				}
+				tk := f.Cache.Reserve(it.key)
+				switch {
+				case tk.Leader():
+					it.ticket = tk
+					leaders = append(leaders, i)
+				case tk.Ready():
+					v, err := tk.Wait()
+					art, _ := v.(*WindowArtifact)
+					it.art, it.err = art, err
+				default:
+					it.ticket, it.wait = tk, true
+				}
+			}
+			if len(leaders) == 0 {
+				return nil
+			}
+			clips := make([]layout.CanonicalWindow, len(leaders))
+			sites := make([][]layout.GateSite, len(leaders))
+			for k, i := range leaders {
+				clips[k] = items[i].clip
+				sites[k] = items[i].csites
+			}
+			arts, errs := stageWindowBatch(env, clips, sites, opt.Corners, parent)
+			for k, i := range leaders {
+				it := &items[i]
+				it.art, it.err = arts[k], errs[k]
+				if f.Cache != nil {
+					// Publish with the computation's own (unwrapped) error,
+					// exactly as Do does; waiters wrap with their own names.
+					it.ticket.Complete(it.art, it.err)
+				}
+			}
+			return nil
+		}},
+		{Name: "post", Fn: func(b int) error {
+			lo, hi := batchRange(n, size, b)
+			for i := lo; i < hi; i++ {
+				it := &items[i]
+				if it.wait {
+					v, err := it.ticket.Wait()
+					art, _ := v.(*WindowArtifact)
+					it.art, it.err = art, err
+				}
+				if it.err != nil {
+					continue
+				}
+				exts[i] = &GateExtraction{
+					Gate:      insts[i].Name,
+					Cell:      insts[i].Cell.Name,
+					Sites:     it.art.Sites,
+					EPE:       it.art.EPE,
+					EPEValues: it.art.EPEValues,
+					Mode:      opt.Mode,
+				}
+			}
+			// The batch's lowest-index error, wrapped exactly as the
+			// per-window path wraps cachedWindow errors (prep errors are
+			// already in final form).
+			for i := lo; i < hi; i++ {
+				if it := &items[i]; it.err != nil {
+					if it.skip {
+						return it.err
+					}
+					return fmt.Errorf("flow: window of %s: %w", insts[i].Name, it.err)
+				}
+			}
+			return nil
+		}},
+	}
+	return par.Pipeline(batches, stages, par.Workers(opt.Workers), par.Obs(f.Obs))
+}
+
+// tileItem threads one ORC tile through the pipeline stages.
+type tileItem struct {
+	err    error
+	origin geom.Point
+	rects  []geom.Rect
+	window geom.Rect // canonical window bounds
+	tile   geom.Rect // canonical interior tile
+	key    cache.Key
+	ticket cache.Ticket
+	wait   bool
+	art    *TileArtifact
+}
+
+// verifyChipBatched is the Batch > 1 path of VerifyChip: row-major tiles
+// stream through the prep → kernel → post pipeline, and each tile's shard
+// report lands in its index-addressed slot for the caller's deterministic
+// row-major merge. Tiles whose window holds no poly produce an empty shard,
+// exactly like verifyTile's early return.
+func (f *Flow) verifyChipBatched(env *stageEnv, chip *layout.Chip, tiles []geom.Rect, guard geom.Coord, opt ORCOptions, scan orcScanOptions, shards []*ORCReport, parent obs.SpanID) error {
+	n := len(tiles)
+	size := opt.Batch
+	batches := (n + size - 1) / size
+	items := make([]tileItem, n)
+
+	stages := []par.Stage{
+		{Name: "prep", Fn: func(b int) error {
+			lo, hi := batchRange(n, size, b)
+			for i := lo; i < hi; i++ {
+				it := &items[i]
+				window := tiles[i].Expand(guard + env.PitchNM)
+				sp := env.obs.StartChild("stage.clip", parent)
+				t0 := env.met.clip.StartTimer()
+				it.origin, it.rects = chip.CanonicalWindowRects(layout.LayerPoly, window)
+				env.met.clip.ObserveSince(t0)
+				sp.End()
+				if len(it.rects) == 0 {
+					continue // nothing drawn: an empty shard, not an error
+				}
+				back := geom.Pt(-it.origin.X, -it.origin.Y)
+				it.window = window.Translate(back)
+				it.tile = tiles[i].Translate(back)
+				if f.Cache != nil {
+					it.key = tileSignature(env, it.rects, it.window, it.tile, opt.Corners, scan)
+				}
+			}
+			return nil
+		}},
+		{Name: "kernel", Fn: func(b int) error {
+			lo, hi := batchRange(n, size, b)
+			var leaders []int
+			for i := lo; i < hi; i++ {
+				it := &items[i]
+				if len(it.rects) == 0 {
+					continue
+				}
+				if f.Cache == nil {
+					leaders = append(leaders, i)
+					continue
+				}
+				tk := f.Cache.Reserve(it.key)
+				switch {
+				case tk.Leader():
+					it.ticket = tk
+					leaders = append(leaders, i)
+				case tk.Ready():
+					v, err := tk.Wait()
+					art, _ := v.(*TileArtifact)
+					it.art, it.err = art, err
+				default:
+					it.ticket, it.wait = tk, true
+				}
+			}
+			if len(leaders) == 0 {
+				return nil
+			}
+			rects := make([][]geom.Rect, len(leaders))
+			bounds := make([]geom.Rect, len(leaders))
+			interiors := make([]geom.Rect, len(leaders))
+			for k, i := range leaders {
+				rects[k] = items[i].rects
+				bounds[k] = items[i].window
+				interiors[k] = items[i].tile
+			}
+			arts, errs := stageTileBatch(env, rects, bounds, interiors, opt.Corners, scan, parent)
+			for k, i := range leaders {
+				it := &items[i]
+				it.art, it.err = arts[k], errs[k]
+				if f.Cache != nil {
+					it.ticket.Complete(it.art, it.err)
+				}
+			}
+			return nil
+		}},
+		{Name: "post", Fn: func(b int) error {
+			lo, hi := batchRange(n, size, b)
+			for i := lo; i < hi; i++ {
+				it := &items[i]
+				if it.wait {
+					v, err := it.ticket.Wait()
+					art, _ := v.(*TileArtifact)
+					it.art, it.err = art, err
+				}
+				shard := &ORCReport{ByKind: map[HotspotKind]int{}}
+				shards[i] = shard
+				if it.err != nil || it.art == nil {
+					continue
+				}
+				shard.ScannedCDs += it.art.ScannedCDs
+				for _, h := range it.art.Hotspots {
+					h.At = geom.Pt(h.At.X+it.origin.X, h.At.Y+it.origin.Y)
+					h.Gate = nearestInstance(chip, h.At)
+					shard.add(h)
+				}
+			}
+			for i := lo; i < hi; i++ {
+				if items[i].err != nil {
+					return items[i].err
+				}
+			}
+			return nil
+		}},
+	}
+	return par.Pipeline(batches, stages, par.Workers(opt.Workers), par.Obs(f.Obs))
+}

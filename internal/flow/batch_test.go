@@ -1,0 +1,219 @@
+package flow
+
+// Determinism matrix for the batched window pipeline (batch.go): batched
+// extraction and ORC must be byte-identical to the per-window fork-join at
+// every combination of worker count, batch size, and cache state. Run with
+// -race to exercise the pipeline's synchronization (see `make check`).
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"postopc/internal/litho"
+	"postopc/internal/netlist"
+	"postopc/internal/obs"
+	"postopc/internal/place"
+)
+
+// batchMatrix is the (workers, batch) sweep of the determinism tests.
+func batchMatrix() (workers, sizes []int) {
+	return []int{1, 2, runtime.GOMAXPROCS(0)}, []int{2, 3, 16}
+}
+
+// TestExtractGatesBatchedMatchesPerWindow pins the tentpole contract for
+// extraction: batched results equal the per-window path bit-for-bit at any
+// worker count and batch size, cache on and off.
+func TestExtractGatesBatchedMatchesPerWindow(t *testing.T) {
+	design := netlist.InverterChain(8)
+	ref := fastFlow(t)
+	pl, err := ref.Place(design, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.ExtractGates(pl.Chip, nil, ExtractOptions{Mode: OPCModel, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers, sizes := batchMatrix()
+	for _, cached := range []bool{false, true} {
+		f := fastFlow(t)
+		if cached {
+			f.EnableCache(0)
+		}
+		for _, w := range workers {
+			for _, size := range sizes {
+				got, err := f.ExtractGates(pl.Chip, nil, ExtractOptions{Mode: OPCModel, Workers: w, Batch: size})
+				if err != nil {
+					t.Fatalf("cached=%v workers=%d batch=%d: %v", cached, w, size, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("cached=%v workers=%d batch=%d: batched extraction diverged from per-window",
+						cached, w, size)
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyChipBatchedMatchesPerTile pins the tentpole contract for ORC:
+// the batched tile pipeline reproduces the per-tile report exactly,
+// including hotspot order, at every matrix point.
+func TestVerifyChipBatchedMatchesPerTile(t *testing.T) {
+	f0 := fastFlow(t)
+	pl, err := f0.Place(netlist.InverterChain(4), place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := ORCOptions{
+		Corners: []litho.Corner{{DefocusNM: 0, Dose: 1.8}, litho.Nominal},
+		Mode:    OPCNone,
+		TileNM:  3000, // several tiles even on the small test chip
+		Workers: 1,
+	}
+	want, err := f0.VerifyChip(pl.Chip, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Hotspots) == 0 || want.Tiles < 2 {
+		t.Fatalf("fixture too weak: %d hotspots over %d tiles", len(want.Hotspots), want.Tiles)
+	}
+	workers, sizes := batchMatrix()
+	for _, cached := range []bool{false, true} {
+		f := fastFlow(t)
+		if cached {
+			f.EnableCache(0)
+		}
+		for _, w := range workers {
+			for _, size := range sizes {
+				o := opt
+				o.Workers, o.Batch = w, size
+				got, err := f.VerifyChip(pl.Chip, o)
+				if err != nil {
+					t.Fatalf("cached=%v workers=%d batch=%d: %v", cached, w, size, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("cached=%v workers=%d batch=%d: batched ORC report diverged:\nwant %+v\ngot  %+v",
+						cached, w, size, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedCacheSingleFlight checks the Reserve-based kernel stage keeps
+// the cache single-flight: however many workers race over a batched run,
+// each unique window signature is computed exactly once (the per-window
+// serial run's miss count), and a second batched pass recomputes nothing.
+func TestBatchedCacheSingleFlight(t *testing.T) {
+	design := netlist.InverterChain(8)
+	serial := fastFlow(t).EnableCache(0)
+	pl, err := serial.Place(design, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serial.ExtractGates(pl.Chip, nil, ExtractOptions{Mode: OPCModel, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	unique := serial.CacheStats().Misses
+	if unique == 0 {
+		t.Fatal("fixture broken: serial cached run missed nothing")
+	}
+	workers, sizes := batchMatrix()
+	for _, w := range workers {
+		for _, size := range sizes {
+			f := fastFlow(t).EnableCache(0)
+			opt := ExtractOptions{Mode: OPCModel, Workers: w, Batch: size}
+			if _, err := f.ExtractGates(pl.Chip, nil, opt); err != nil {
+				t.Fatal(err)
+			}
+			st := f.CacheStats()
+			if st.Misses != unique {
+				t.Fatalf("workers=%d batch=%d: %d misses, want %d (single-flight violated)",
+					w, size, st.Misses, unique)
+			}
+			if _, err := f.ExtractGates(pl.Chip, nil, opt); err != nil {
+				t.Fatal(err)
+			}
+			if st := f.CacheStats(); st.Misses != unique {
+				t.Fatalf("workers=%d batch=%d: second pass recomputed (%d misses, want %d)",
+					w, size, st.Misses, unique)
+			}
+		}
+	}
+}
+
+// TestBatchedPipelinePoolBalance runs batched extraction and ORC with the
+// litho scratch pools instrumented and asserts every borrow was returned —
+// the batched image stage hands rasters and kernel scratch back exactly
+// like the per-window path.
+func TestBatchedPipelinePoolBalance(t *testing.T) {
+	sink := obs.NewSink()
+	litho.InstrumentPools(sink)
+	defer litho.InstrumentPools(nil)
+
+	f := fastFlow(t).EnableCache(0)
+	f.Obs = sink
+	pl, err := f.Place(netlist.InverterChain(6), place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := ExtractOptions{Mode: OPCModel, Workers: 2, Batch: 3}
+	if _, err := f.ExtractGates(pl.Chip, nil, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.VerifyChip(pl.Chip, ORCOptions{
+		Corners: []litho.Corner{{DefocusNM: 0, Dose: 1.8}},
+		TileNM:  3000,
+		Workers: 2,
+		Batch:   3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	borrows := sink.Counter("litho.pool_borrows_total").Value()
+	returns := sink.Counter("litho.pool_returns_total").Value()
+	if borrows == 0 {
+		t.Fatal("pools saw no traffic: instrumentation or batching broken")
+	}
+	if borrows != returns {
+		t.Fatalf("pool borrow/return imbalance under the batched pipeline: %d borrowed, %d returned",
+			borrows, returns)
+	}
+}
+
+// TestBatchedErrorParity: a batch member that fails in prep surfaces the
+// same error, and the same lowest-index-wins choice, as the per-window
+// path.
+func TestBatchedErrorParity(t *testing.T) {
+	f := fastFlow(t)
+	pl, err := f.Place(netlist.InverterChain(4), place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An instance without gate sites (a fill/tap cell) makes prep fail for
+	// exactly one window.
+	var bad string
+	for i := range pl.Chip.Instances {
+		if in := &pl.Chip.Instances[i]; len(in.Cell.Gates) == 0 {
+			bad = in.Name
+			break
+		}
+	}
+	if bad == "" {
+		t.Skip("no gateless instance on the fixture chip")
+	}
+	names := []string{"u1", bad, "u2"}
+	_, wantErr := f.ExtractGates(pl.Chip, names, ExtractOptions{Mode: OPCNone, Workers: 1})
+	if wantErr == nil {
+		t.Fatal("per-window path accepted a gateless instance")
+	}
+	workers, sizes := batchMatrix()
+	for _, w := range workers {
+		for _, size := range sizes {
+			_, gotErr := f.ExtractGates(pl.Chip, names, ExtractOptions{Mode: OPCNone, Workers: w, Batch: size})
+			if gotErr == nil || gotErr.Error() != wantErr.Error() {
+				t.Fatalf("workers=%d batch=%d: error = %v, want %v", w, size, gotErr, wantErr)
+			}
+		}
+	}
+}

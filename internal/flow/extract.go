@@ -67,6 +67,13 @@ type ExtractOptions struct {
 	// Workers bounds instance-level concurrency in ExtractGates
 	// (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// Batch groups windows through the staged batch pipeline (batch.go):
+	// Batch > 1 streams windows in groups of Batch through overlapping
+	// prep → kernel → post stages, amortizing FFT plans and scratch across
+	// each group. Results are byte-identical to the per-window path.
+	// <= 1 keeps the per-window fork-join. Like Workers, Batch is a
+	// scheduling knob and never enters cache signatures.
+	Batch int
 }
 
 // ExtractInstance runs the staged window pipeline for one placed instance:
@@ -197,14 +204,18 @@ func (f *Flow) ExtractGates(chip *layout.Chip, names []string, opt ExtractOption
 
 	sp := f.Obs.Start("flow.extract")
 	exts := make([]*GateExtraction, len(names))
-	err = par.ForEach(len(names), func(i int) error {
-		ext, err := f.extractInstance(env, chip, insts[i], opt, sp.ID())
-		if err != nil {
-			return err
-		}
-		exts[i] = ext
-		return nil
-	}, par.Workers(opt.Workers), par.Obs(f.Obs))
+	if opt.Batch > 1 {
+		err = f.extractGatesBatched(env, chip, insts, opt, exts, sp.ID())
+	} else {
+		err = par.ForEach(len(names), func(i int) error {
+			ext, err := f.extractInstance(env, chip, insts[i], opt, sp.ID())
+			if err != nil {
+				return err
+			}
+			exts[i] = ext
+			return nil
+		}, par.Workers(opt.Workers), par.Obs(f.Obs))
+	}
 	sp.End()
 	if err != nil {
 		return nil, err

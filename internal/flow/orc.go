@@ -89,6 +89,12 @@ type ORCOptions struct {
 	// The report is identical for every worker count: tiles are merged in
 	// row-major order before hotspots are sorted.
 	Workers int
+	// Batch groups tiles through the staged batch pipeline (batch.go):
+	// Batch > 1 streams tiles in groups of Batch through overlapping
+	// prep → kernel → post stages. The report is byte-identical to the
+	// per-tile path. <= 1 keeps the per-tile fork-join. Like Workers,
+	// Batch is a scheduling knob and never enters cache signatures.
+	Batch int
 }
 
 // ORCReport is the outcome of VerifyChip.
@@ -147,14 +153,18 @@ func (f *Flow) VerifyChip(chip *layout.Chip, opt ORCOptions) (*ORCReport, error)
 	}
 	sp := f.Obs.Start("flow.orc")
 	shards := make([]*ORCReport, len(tiles))
-	err = par.ForEach(len(tiles), func(i int) error {
-		shard := &ORCReport{ByKind: map[HotspotKind]int{}}
-		if err := f.verifyTile(env, chip, tiles[i], guard, opt.Corners, scan, shard, sp.ID()); err != nil {
-			return err
-		}
-		shards[i] = shard
-		return nil
-	}, par.Workers(opt.Workers), par.Obs(f.Obs))
+	if opt.Batch > 1 {
+		err = f.verifyChipBatched(env, chip, tiles, guard, opt, scan, shards, sp.ID())
+	} else {
+		err = par.ForEach(len(tiles), func(i int) error {
+			shard := &ORCReport{ByKind: map[HotspotKind]int{}}
+			if err := f.verifyTile(env, chip, tiles[i], guard, opt.Corners, scan, shard, sp.ID()); err != nil {
+				return err
+			}
+			shards[i] = shard
+			return nil
+		}, par.Workers(opt.Workers), par.Obs(f.Obs))
+	}
 	sp.End()
 	if err != nil {
 		return nil, err

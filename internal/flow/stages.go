@@ -238,30 +238,25 @@ func stageProfile(env *stageEnv, gates [][]cdx.GateCD, sites []layout.GateSite, 
 	return out
 }
 
-// stageWindow chains OPC → image → contour → profile over one canonical
-// clip: the unit of work the pattern cache memoizes for gate extraction.
-// parent is the telemetry span the stage spans nest under (0 when tracing
-// is off or the caller has no enclosing span).
-func stageWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.GateSite, corners []litho.Corner, parent obs.SpanID) (*WindowArtifact, error) {
+// stageWindowOPC runs the OPC half of one window's chain (with its span
+// and timer) — shared verbatim by the per-window and batched paths so the
+// corrected mask and EPE samples are byte-identical between them.
+func stageWindowOPC(env *stageEnv, clip layout.CanonicalWindow, parent obs.SpanID) (mask []geom.Polygon, epeValues []float64, err error) {
 	guard := env.Verify.Recipe().GuardNM
 	sp := env.obs.StartChild("stage.opc", parent)
 	t0 := env.met.opc.StartTimer()
-	mask, epeValues, err := stageOPC(env, clip.Polys, clip.Bounds.Expand(-guard), true)
+	mask, epeValues, err = stageOPC(env, clip.Polys, clip.Bounds.Expand(-guard), true)
 	env.met.opc.ObserveSince(t0)
 	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	sp = env.obs.StartChild("stage.image", parent)
-	t0 = env.met.image.StartTimer()
-	imgs, err := stageImage(env, mask, clip.Bounds, corners)
-	env.met.image.ObserveSince(t0)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	sp = env.obs.StartChild("stage.contour", parent)
-	t0 = env.met.contour.StartTimer()
+	return mask, epeValues, err
+}
+
+// stageWindowArtifact runs the contour → profile half of one window's chain
+// over already-computed corner images — shared verbatim by the per-window
+// and batched paths.
+func stageWindowArtifact(env *stageEnv, imgs []*litho.Image, sites []layout.GateSite, corners []litho.Corner, epeValues []float64, parent obs.SpanID) *WindowArtifact {
+	sp := env.obs.StartChild("stage.contour", parent)
+	t0 := env.met.contour.StartTimer()
 	gates := stageContour(env, imgs, sites, corners)
 	env.met.contour.ObserveSince(t0)
 	sp.End()
@@ -276,14 +271,32 @@ func stageWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.Gate
 	}
 	env.met.profile.ObserveSince(t0)
 	sp.End()
-	return art, nil
+	return art
 }
 
-// stageTileScan is the ORC counterpart of stageWindow: OPC → image → pinch
-// / bridge / pullback scans over one canonical tile window. rects are the
-// canonical clipped poly rects, bounds the canonical window, tile the
-// canonical interior tile that owns the hotspots.
-func stageTileScan(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, corners []litho.Corner, scan orcScanOptions, parent obs.SpanID) (*TileArtifact, error) {
+// stageWindow chains OPC → image → contour → profile over one canonical
+// clip: the unit of work the pattern cache memoizes for gate extraction.
+// parent is the telemetry span the stage spans nest under (0 when tracing
+// is off or the caller has no enclosing span).
+func stageWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.GateSite, corners []litho.Corner, parent obs.SpanID) (*WindowArtifact, error) {
+	mask, epeValues, err := stageWindowOPC(env, clip, parent)
+	if err != nil {
+		return nil, err
+	}
+	sp := env.obs.StartChild("stage.image", parent)
+	t0 := env.met.image.StartTimer()
+	imgs, err := stageImage(env, mask, clip.Bounds, corners)
+	env.met.image.ObserveSince(t0)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	return stageWindowArtifact(env, imgs, sites, corners, epeValues, parent), nil
+}
+
+// stageTileMask runs the OPC half of one tile's chain (with its span and
+// timer) — shared verbatim by the per-tile and batched paths.
+func stageTileMask(env *stageEnv, rects []geom.Rect, parent obs.SpanID) ([]geom.Polygon, error) {
 	var drawn []geom.Polygon
 	for _, r := range rects {
 		drawn = append(drawn, r.Polygon())
@@ -293,17 +306,13 @@ func stageTileScan(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, cor
 	mask, _, err := stageOPC(env, drawn, geom.Rect{}, false)
 	env.met.opc.ObserveSince(t0)
 	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	sp = env.obs.StartChild("stage.image", parent)
-	t0 = env.met.image.StartTimer()
-	imgs, err := stageImage(env, mask, bounds, corners)
-	env.met.image.ObserveSince(t0)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
+	return mask, err
+}
+
+// stageTileArtifact runs the pinch / bridge / pullback scans of one tile
+// over already-computed corner images — shared verbatim by the per-tile and
+// batched paths.
+func stageTileArtifact(env *stageEnv, imgs []*litho.Image, rects []geom.Rect, tile geom.Rect, corners []litho.Corner, scan orcScanOptions) *TileArtifact {
 	art := &TileArtifact{}
 	drawnRegion := geom.RegionFromRects(rects...).Normalize()
 	recipe := env.Verify.Recipe()
@@ -312,5 +321,25 @@ func stageTileScan(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, cor
 		scanPinches(env, imgs[ci], rects, tile, th, corner, scan, art)
 		scanBridges(env, imgs[ci], rects, drawnRegion, tile, th, corner, scan, art)
 	}
-	return art, nil
+	return art
+}
+
+// stageTileScan is the ORC counterpart of stageWindow: OPC → image → pinch
+// / bridge / pullback scans over one canonical tile window. rects are the
+// canonical clipped poly rects, bounds the canonical window, tile the
+// canonical interior tile that owns the hotspots.
+func stageTileScan(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, corners []litho.Corner, scan orcScanOptions, parent obs.SpanID) (*TileArtifact, error) {
+	mask, err := stageTileMask(env, rects, parent)
+	if err != nil {
+		return nil, err
+	}
+	sp := env.obs.StartChild("stage.image", parent)
+	t0 := env.met.image.StartTimer()
+	imgs, err := stageImage(env, mask, bounds, corners)
+	env.met.image.ObserveSince(t0)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	return stageTileArtifact(env, imgs, rects, tile, corners, scan), nil
 }

@@ -2,7 +2,6 @@ package litho
 
 import (
 	"fmt"
-	"sync"
 
 	"postopc/internal/dsp"
 	"postopc/internal/geom"
@@ -17,16 +16,14 @@ import (
 //
 // The per-source-point pupil filters depend only on the recipe, grid
 // geometry and defocus — never on the mask — so they are precomputed once
-// per (grid size, pixel, defocus) in a lazily built, mutex-guarded filter
-// bank (see filterbank.go) and the hot loop reduces to a branch-free
-// complex multiply over the filter's support rows, a band-limited inverse
-// transform, and an intensity accumulation.
+// per (recipe, grid size, pixel, defocus) in the package-level shared
+// read-mostly filter bank (see filterbank.go) and the hot loop reduces to a
+// branch-free complex multiply over the filter's support rows, a
+// band-limited inverse transform, and an intensity accumulation.
 type Abbe struct {
-	recipe Recipe
-	source []SourcePoint //postopc:keyignore derived deterministically from recipe by NewAbbe
-
-	mu   sync.RWMutex             //postopc:keyignore lazy-state guard, not a simulation input
-	bank map[filterKey]*filterSet //postopc:keyignore memo of recipe-derived filters, not an independent input
+	recipe    Recipe
+	source    []SourcePoint //postopc:keyignore derived deterministically from recipe by NewAbbe
+	recipeKey string        //postopc:keyignore the recipe's own serialization, precomputed for bank lookups
 
 	// Telemetry handles (see Instrument); nil on an uninstrumented model.
 	// They are write-only and allocation-free, so the kernel's steady-state
@@ -50,9 +47,9 @@ func NewAbbe(r Recipe) (*Abbe, error) {
 		return nil, err
 	}
 	return &Abbe{
-		recipe: r,
-		source: SampleSource(r.SigmaInner, r.SigmaOuter, r.SourceRings),
-		bank:   make(map[filterKey]*filterSet),
+		recipe:    r,
+		source:    SampleSource(r.SigmaInner, r.SigmaOuter, r.SourceRings),
+		recipeKey: string(r.AppendKey(nil)),
 	}, nil
 }
 
@@ -151,24 +148,7 @@ func (a *Abbe) AerialSeries(mask *geom.Raster, corners []Corner) ([]*Image, erro
 	ny := dsp.NextPow2(mask.Ny)
 	px := float64(mask.Pixel)
 
-	// Filter sets for every unique defocus, fetched up front so the
-	// forward transform knows which spectrum rows the filters will read.
-	var spectrumRows []int
-	sets := make([]*filterSet, len(corners))
-	for ci, c := range corners {
-		dup := false
-		for _, p := range corners[:ci] {
-			if p.DefocusNM == c.DefocusNM {
-				dup = true
-				break
-			}
-		}
-		if dup {
-			continue
-		}
-		sets[ci] = a.filtersFor(nx, ny, px, c.DefocusNM)
-		spectrumRows = mergeRows(spectrumRows, sets[ci].unionRows)
-	}
+	sets, spectrumRows := a.resolveSets(nx, ny, px, corners)
 
 	// Transmission grid, padded with the polarity's background level.
 	bg := a.backgroundLevel()
@@ -182,6 +162,37 @@ func (a *Abbe) AerialSeries(mask *geom.Raster, corners []Corner) ([]*Image, erro
 
 	ks := borrowKernelScratch()
 	defer ks.release()
+	return a.imageCorners(t, mask, corners, sets, bg, ks)
+}
+
+// resolveSets fetches the filter set of every unique corner defocus up
+// front, so the forward transform knows which spectrum rows the filters
+// will read. sets[ci] is nil when an earlier corner shares the defocus (the
+// image is aliased there); rows is the ascending union of all resolved
+// sets' support rows.
+func (a *Abbe) resolveSets(nx, ny int, px float64, corners []Corner) (sets []*filterSet, rows []int) {
+	sets = make([]*filterSet, len(corners))
+	for ci, c := range corners {
+		dup := false
+		for _, p := range corners[:ci] {
+			if p.DefocusNM == c.DefocusNM {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		sets[ci] = a.filtersFor(nx, ny, px, c.DefocusNM)
+		rows = mergeRows(rows, sets[ci].unionRows)
+	}
+	return sets, rows
+}
+
+// imageCorners runs the filtered source sum of every corner over the
+// band-selected spectrum t, aliasing duplicate-defocus corners to the
+// earlier corner's image per the AerialSeries contract.
+func (a *Abbe) imageCorners(t *dsp.Grid, mask *geom.Raster, corners []Corner, sets []*filterSet, bg float64, ks *kernelScratch) ([]*Image, error) {
 	order := make([]*Image, len(corners))
 	for ci, c := range corners {
 		if sets[ci] == nil { // duplicate defocus: alias the earlier image

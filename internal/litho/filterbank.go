@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/cmplx"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"postopc/internal/dsp"
 )
@@ -29,9 +31,11 @@ import (
 // aberration phase does not conjugate), so defocused filter sets keep every
 // point.
 
-// filterKey identifies one filter set: the simulation grid geometry plus
-// the defocus. The recipe and source are fixed per Abbe instance.
+// filterKey identifies one filter set in the shared bank: the recipe
+// serialization (Recipe.AppendKey, which also determines the sampled
+// source), the simulation grid geometry and the defocus.
 type filterKey struct {
+	recipe    string
 	nx, ny    int
 	pixelNM   float64
 	defocusNM float64
@@ -59,35 +63,61 @@ type filterSet struct {
 	unionRows []int
 }
 
-// maxFilterSets bounds the bank. A flow images windows at one or two grid
-// sizes and a handful of defocus values, so the bank normally holds a few
-// entries; the reset guards against a pathological caller cycling window
-// sizes.
+// maxFilterSets bounds the shared bank. A flow images windows at one or two
+// grid sizes and a handful of defocus values, so the bank normally holds a
+// few entries; the reset guards against a pathological caller cycling
+// window sizes.
 const maxFilterSets = 16
 
-// filtersFor returns the filter set for the key, building it on first use.
-// The bank is guarded for concurrent extraction/ORC workers sharing one
-// model; the build is deterministic, so whichever worker builds it stores
-// the same tables.
+// sharedBank is the package-level read-mostly filter-bank service. Filter
+// tables are pure functions of their key (the build is deterministic), so
+// one process-wide bank serves every Abbe instance: concurrent workers —
+// even workers holding distinct models built from equal recipes — never
+// rebuild or contend on an existing entry. Reads are a single atomic load
+// of an immutable map snapshot; builds serialize on the mutex and publish a
+// grown copy (copy-on-write), so the hot path takes no lock at all.
+var sharedBank struct {
+	mu  sync.Mutex // serializes builds and snapshot swaps
+	cur atomic.Pointer[map[filterKey]*filterSet]
+}
+
+// filtersFor returns the filter set for the grid geometry and defocus,
+// building it into the shared bank on first use.
+//
+//postopc:allocfree
 func (a *Abbe) filtersFor(nx, ny int, px, defocusNM float64) *filterSet {
-	key := filterKey{nx: nx, ny: ny, pixelNM: px, defocusNM: defocusNM}
-	a.mu.RLock()
-	fs, ok := a.bank[key]
-	a.mu.RUnlock()
-	if ok {
-		return fs
+	key := filterKey{recipe: a.recipeKey, nx: nx, ny: ny, pixelNM: px, defocusNM: defocusNM}
+	if m := sharedBank.cur.Load(); m != nil {
+		if fs, ok := (*m)[key]; ok {
+			return fs
+		}
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if fs, ok := a.bank[key]; ok {
-		return fs
+	return a.buildFilters(key) //postopc:nolint:allocbudget first build per (recipe, geometry, defocus) is the one-time cold path
+}
+
+// buildFilters builds and publishes the filter set of key under the bank
+// mutex, double-checking for a concurrent build. The snapshot swap is
+// copy-on-write: readers keep the map they loaded, the next lookup sees the
+// grown one. When the bank is full the new snapshot starts over with just
+// this entry (the maxFilterSets reset).
+func (a *Abbe) buildFilters(key filterKey) *filterSet {
+	sharedBank.mu.Lock()
+	defer sharedBank.mu.Unlock()
+	if m := sharedBank.cur.Load(); m != nil {
+		if fs, ok := (*m)[key]; ok {
+			return fs
+		}
 	}
-	fs = buildFilterSet(a.recipe, a.source, nx, ny, px, defocusNM)
+	fs := buildFilterSet(a.recipe, a.source, key.nx, key.ny, key.pixelNM, key.defocusNM)
 	a.cBuilds.Inc()
-	if len(a.bank) >= maxFilterSets {
-		a.bank = make(map[filterKey]*filterSet, maxFilterSets)
+	next := make(map[filterKey]*filterSet, maxFilterSets)
+	if old := sharedBank.cur.Load(); old != nil && len(*old) < maxFilterSets {
+		for k, v := range *old {
+			next[k] = v
+		}
 	}
-	a.bank[key] = fs
+	next[key] = fs
+	sharedBank.cur.Store(&next)
 	return fs
 }
 

@@ -146,7 +146,9 @@ func TestFoldSourceWeights(t *testing.T) {
 }
 
 // TestFilterBankReuse checks that repeated Aerial calls hit the same cached
-// filter set (pointer equality) instead of rebuilding it.
+// filter set (pointer equality) instead of rebuilding it, and that the
+// shared bank serves distinct model instances built from equal recipes the
+// same tables — the read-mostly bank service contract.
 func TestFilterBankReuse(t *testing.T) {
 	m := newAbbeT(t)
 	mask := smallMask()
@@ -158,8 +160,26 @@ func TestFilterBankReuse(t *testing.T) {
 	if fs1 != fs2 {
 		t.Fatal("filter bank rebuilt an existing entry")
 	}
-	if len(m.bank) == 0 {
-		t.Fatal("Aerial did not populate the filter bank")
+	if bank := sharedBank.cur.Load(); bank == nil || len(*bank) == 0 {
+		t.Fatal("Aerial did not populate the shared filter bank")
+	}
+	// A second instance with the same recipe must share the entry.
+	other := newAbbeT(t)
+	if other == m {
+		t.Fatal("test needs distinct instances")
+	}
+	if fs3 := other.filtersFor(128, 128, 10, 0); fs3 != fs1 {
+		t.Fatal("equal-recipe models did not share the bank entry")
+	}
+	// A different recipe must not collide with the entry.
+	rec := testRecipe()
+	rec.NA += 0.05
+	changed, err := NewAbbe(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs4 := changed.filtersFor(128, 128, 10, 0); fs4 == fs1 {
+		t.Fatal("distinct recipes shared one filter set")
 	}
 }
 

@@ -1,0 +1,183 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"postopc/internal/obs"
+)
+
+// Stage is one stage of a Pipeline: a named batch function with its own
+// worker bound.
+type Stage struct {
+	// Name labels the stage's telemetry ("par.pipeline_<name>_*").
+	Name string
+	// Workers bounds concurrent Fn executions of this stage; <= 0 selects
+	// runtime.GOMAXPROCS(0). The Workers Option, when given, caps every
+	// stage.
+	Workers int
+	// Fn processes one batch. A non-nil error marks the batch failed: its
+	// remaining stages are skipped and no new batches are admitted. Fn
+	// must not leave cross-batch obligations dangling on error (see the
+	// Pipeline determinism contract).
+	Fn func(batch int) error
+}
+
+// stageMetrics are the telemetry handles of one pipeline stage: worker
+// busy/wait time and the end-of-run occupancy gauge (fraction of the
+// stage's worker-time spent inside Fn). The zero value (disabled sink) is
+// free.
+type stageMetrics struct {
+	busy *obs.Histogram
+	wait *obs.Histogram
+	occ  *obs.Gauge
+}
+
+func newStageMetrics(sink *obs.Sink, name string) stageMetrics {
+	if !sink.Enabled() {
+		return stageMetrics{}
+	}
+	return stageMetrics{
+		busy: sink.LatencyHistogram("par.pipeline_" + name + "_busy_ns"),
+		wait: sink.LatencyHistogram("par.pipeline_" + name + "_wait_ns"),
+		occ:  sink.Gauge("par.pipeline_" + name + "_occupancy"),
+	}
+}
+
+// Pipeline streams batches 0..batches-1 through the stages as overlapping
+// phases on bounded channels: while stage s processes batch b, stage s-1
+// already works on later batches, so a chain of rasterize → transform →
+// extract keeps every phase busy instead of fork-joining per batch. The
+// channel between adjacent stages is bounded by the upstream worker count,
+// which backpressures admission when a downstream stage falls behind.
+//
+// Determinism contract (mirroring ForEach): batches are admitted in
+// ascending order and callers write results into batch-addressed slots, so
+// assembled output is independent of stage worker counts and scheduling.
+// Once any batch fails, admission stops; every batch below the lowest
+// failing one was already admitted and runs every stage to completion, so
+// the returned error is always the lowest failing batch's — the error a
+// serial loop over batches would surface. A failed batch skips its
+// remaining stages (it still flows through them for accounting, without
+// running Fn).
+//
+// Telemetry (the Obs option): per stage, worker busy time
+// ("par.pipeline_<name>_busy_ns"), worker idle time spent parked on
+// channels ("par.pipeline_<name>_wait_ns") and an occupancy gauge
+// ("par.pipeline_<name>_occupancy", busy fraction of the stage's
+// worker-time over the run), plus a "par.pipeline_batches_total" counter.
+func Pipeline(batches int, stages []Stage, opts ...Option) error {
+	if batches <= 0 || len(stages) == 0 {
+		return nil
+	}
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	errs := make([]error, batches)
+	var failed atomic.Bool
+
+	cBatches := o.sink.Counter("par.pipeline_batches_total")
+	admit := make(chan int)
+	go func() {
+		defer close(admit)
+		for b := 0; b < batches; b++ {
+			// Ascending admission with the failure check before the send:
+			// when the lowest failing batch raises the flag, every batch
+			// below it is already in the pipe and drains to completion.
+			if failed.Load() {
+				return
+			}
+			admit <- b
+			cBatches.Inc()
+		}
+	}()
+
+	var closers sync.WaitGroup
+	cur := admit
+	for si := range stages {
+		st := stages[si]
+		workers := st.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if o.workers > 0 && workers > o.workers {
+			workers = o.workers
+		}
+		if workers > batches {
+			workers = batches
+		}
+		var out chan int
+		if si < len(stages)-1 {
+			out = make(chan int, workers)
+		}
+		met := newStageMetrics(o.sink, st.Name)
+		fn := st.Fn
+		in := cur
+
+		var stageWG sync.WaitGroup
+		stageWG.Add(workers)
+		var busyTotal atomic.Int64
+		wallStart := int64(0)
+		if met.busy != nil {
+			wallStart = obs.Monotonic()
+		}
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer stageWG.Done()
+				var busy int64
+				t0 := int64(0)
+				if met.busy != nil {
+					t0 = obs.Monotonic()
+				}
+				for b := range in {
+					// A batch that failed an earlier stage flows through
+					// for ordering/accounting but skips the work.
+					if errs[b] == nil {
+						tb := int64(0)
+						if met.busy != nil {
+							tb = obs.Monotonic()
+						}
+						if err := fn(b); err != nil {
+							errs[b] = err
+							failed.Store(true)
+						}
+						if met.busy != nil {
+							busy += obs.Monotonic() - tb
+						}
+					}
+					if out != nil {
+						out <- b
+					}
+				}
+				if met.busy != nil {
+					met.busy.Observe(float64(busy))
+					met.wait.Observe(float64(obs.Monotonic() - t0 - busy))
+					busyTotal.Add(busy)
+				}
+			}()
+		}
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			stageWG.Wait()
+			if out != nil {
+				close(out)
+			}
+			if met.occ != nil {
+				if wall := (obs.Monotonic() - wallStart) * int64(workers); wall > 0 {
+					met.occ.Set(float64(busyTotal.Load()) / float64(wall))
+				}
+			}
+		}()
+		cur = out
+	}
+	closers.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

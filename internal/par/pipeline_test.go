@@ -1,0 +1,167 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"postopc/internal/obs"
+)
+
+// pipeConfigs are the stage worker counts the pipeline tests sweep.
+func pipeConfigs() [][3]int {
+	g := runtime.GOMAXPROCS(0)
+	return [][3]int{{1, 1, 1}, {1, 2, 1}, {2, g, 2}, {g, g, g}}
+}
+
+// TestPipelineProcessesEveryBatchOnce runs a 3-stage pipeline over slot
+// arrays and asserts every batch passes every stage exactly once, at every
+// worker configuration.
+func TestPipelineProcessesEveryBatchOnce(t *testing.T) {
+	const batches = 23
+	for _, cfg := range pipeConfigs() {
+		var s1, s2, s3 [batches]int32
+		stages := []Stage{
+			{Name: "a", Workers: cfg[0], Fn: func(b int) error { atomic.AddInt32(&s1[b], 1); return nil }},
+			{Name: "b", Workers: cfg[1], Fn: func(b int) error {
+				if atomic.LoadInt32(&s1[b]) != 1 {
+					return fmt.Errorf("batch %d reached stage b before stage a", b)
+				}
+				atomic.AddInt32(&s2[b], 1)
+				return nil
+			}},
+			{Name: "c", Workers: cfg[2], Fn: func(b int) error { atomic.AddInt32(&s3[b], 1); return nil }},
+		}
+		if err := Pipeline(batches, stages); err != nil {
+			t.Fatalf("cfg %v: %v", cfg, err)
+		}
+		for b := 0; b < batches; b++ {
+			if s1[b] != 1 || s2[b] != 1 || s3[b] != 1 {
+				t.Fatalf("cfg %v: batch %d ran stages (%d,%d,%d) times", cfg, b, s1[b], s2[b], s3[b])
+			}
+		}
+	}
+}
+
+// TestPipelineLowestBatchError pins the error contract: with batch 3
+// failing at the last stage and batch 9 failing at the first, the returned
+// error is always batch 3's — every batch below the lowest failing one
+// completed all stages first.
+func TestPipelineLowestBatchError(t *testing.T) {
+	const batches = 16
+	err3 := errors.New("batch 3 failed late")
+	err9 := errors.New("batch 9 failed early")
+	for _, cfg := range pipeConfigs() {
+		var done [batches]int32
+		stages := []Stage{
+			{Name: "a", Workers: cfg[0], Fn: func(b int) error {
+				if b == 9 {
+					return err9
+				}
+				return nil
+			}},
+			{Name: "b", Workers: cfg[1], Fn: func(b int) error { return nil }},
+			{Name: "c", Workers: cfg[2], Fn: func(b int) error {
+				if b == 3 {
+					return err3
+				}
+				atomic.AddInt32(&done[b], 1)
+				return nil
+			}},
+		}
+		if err := Pipeline(batches, stages); !errors.Is(err, err3) {
+			t.Fatalf("cfg %v: err = %v, want batch 3's", cfg, err)
+		}
+		for b := 0; b < 3; b++ {
+			if done[b] != 1 {
+				t.Fatalf("cfg %v: batch %d below the failure did not complete all stages", cfg, b)
+			}
+		}
+	}
+}
+
+// TestPipelineFailedBatchSkipsLaterStages asserts a failed batch never runs
+// its remaining stages.
+func TestPipelineFailedBatchSkipsLaterStages(t *testing.T) {
+	boom := errors.New("boom")
+	var ran [2][8]int32
+	stages := []Stage{
+		{Name: "a", Workers: 2, Fn: func(b int) error {
+			if b == 2 {
+				return boom
+			}
+			atomic.AddInt32(&ran[0][b], 1)
+			return nil
+		}},
+		{Name: "b", Workers: 2, Fn: func(b int) error { atomic.AddInt32(&ran[1][b], 1); return nil }},
+	}
+	if err := Pipeline(8, stages); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran[1][2] != 0 {
+		t.Fatal("failed batch ran a later stage")
+	}
+	if ran[0][0] != 1 || ran[1][0] != 1 || ran[0][1] != 1 || ran[1][1] != 1 {
+		t.Fatal("batches below the failure must run every stage")
+	}
+}
+
+// TestPipelineDegenerate covers the no-batch and no-stage edges.
+func TestPipelineDegenerate(t *testing.T) {
+	if err := Pipeline(0, []Stage{{Name: "a", Fn: func(int) error { return errors.New("x") }}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Pipeline(5, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineObs checks the stage-occupancy telemetry: busy/wait
+// histograms and the occupancy gauge exist per stage and the batch counter
+// counts admissions.
+func TestPipelineObs(t *testing.T) {
+	sink := obs.NewSink()
+	stages := []Stage{
+		{Name: "prep", Workers: 2, Fn: func(int) error { return nil }},
+		{Name: "kernel", Workers: 2, Fn: func(int) error { return nil }},
+	}
+	const batches = 12
+	if err := Pipeline(batches, stages, Obs(sink)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Counter("par.pipeline_batches_total").Value(); got != batches {
+		t.Fatalf("batches counter = %d, want %d", got, batches)
+	}
+	snap := sink.Metrics.Snapshot()
+	hists := map[string]uint64{}
+	for _, h := range snap.Histograms {
+		hists[h.Name] = h.Count
+	}
+	for _, name := range []string{"prep", "kernel"} {
+		if hists["par.pipeline_"+name+"_busy_ns"] == 0 {
+			t.Fatalf("stage %s busy histogram empty", name)
+		}
+		occ := sink.Gauge("par.pipeline_" + name + "_occupancy").Value()
+		if occ < 0 || occ > 1 {
+			t.Fatalf("stage %s occupancy = %g, want [0,1]", name, occ)
+		}
+	}
+}
+
+// TestPipelineWorkersOptionCap checks the Workers option caps every
+// stage's concurrency (smoke: the pipeline still completes correctly).
+func TestPipelineWorkersOptionCap(t *testing.T) {
+	var count atomic.Int32
+	stages := []Stage{
+		{Name: "a", Workers: 64, Fn: func(int) error { count.Add(1); return nil }},
+		{Name: "b", Workers: 64, Fn: func(int) error { count.Add(1); return nil }},
+	}
+	if err := Pipeline(10, stages, Workers(1)); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 20 {
+		t.Fatalf("ran %d stage executions, want 20", count.Load())
+	}
+}
