@@ -42,10 +42,14 @@ bench-smoke:
 	$(GO) test -short -run=NONE -bench=Ablation_WindowCache -benchtime=1x .
 
 # Kernel-engine smoke: asserts the steady-state allocation budget of the
-# imaging hot path (TestKernelAllocBudget) and runs the kernel report bench
-# once (-short trims its sample count). Reference numbers: BENCH_kernel.json.
+# imaging hot path (TestKernelAllocBudget), runs the kernel report bench
+# once (-short trims its sample count), then the vek inner-loop micro
+# series (complex128 reference vs SoA kernels — butterfly, filter apply,
+# intensity accumulate, inverse scale). Build with GOAMD64=v3 to measure
+# the AVX2 kernels. Reference numbers: BENCH_kernel.json.
 bench-kernel:
 	$(GO) test -short -run=TestKernelAllocBudget -bench=KernelReport -benchtime=1x ./internal/litho/
+	$(GO) test -run=NONE -bench=KernelInnerLoops -benchtime=100ms ./internal/dsp/vek/
 
 # Telemetry-overhead smoke: asserts that a disabled sink adds zero
 # allocations to instrumented hot paths and measures the per-update cost

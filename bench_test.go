@@ -21,6 +21,7 @@ import (
 	"postopc/internal/litho"
 	"postopc/internal/metro"
 	"postopc/internal/netlist"
+	"postopc/internal/obs"
 	"postopc/internal/opc"
 	"postopc/internal/pdk"
 	"postopc/internal/place"
@@ -765,6 +766,96 @@ func BenchmarkThroughput_BatchedPipeline(b *testing.B) {
 			rateS.Y = append(rateS.Y, rate/cores)
 		}
 		b.ReportMetric(headline, "speedup")
+		printOnce(b, i, func() {
+			tb.Fprint(stdout)
+			report.WriteSeriesCSV(stdout, []report.Series{rateS})
+		})
+	}
+}
+
+// BenchmarkThroughput_GOMAXPROCS measures how the batched window pipeline
+// scales with scheduler parallelism: the strip chip runs at GOMAXPROCS 1,
+// 4 and 8 (batched 16, cache on — the headline mode of
+// BenchmarkThroughput_BatchedPipeline) with an instrumented sink, and the
+// table reports windows/sec plus the per-stage busy/wait split of the
+// prep → kernel → post pipeline from the par.Pipeline telemetry.
+// Occupancy is the busy fraction of each stage's total worker time
+// (busy / (busy + wait)) summed over the extraction and ORC runs. Results
+// are byte-identical across the series (the flow determinism matrix pins
+// worker-count independence); only the rate and the stage overlap change.
+// The recorded series lives in BENCH_throughput.json.
+func BenchmarkThroughput_GOMAXPROCS(b *testing.B) {
+	f := getFixtures(b)
+	strip := place.Options{RowWidthNM: 2380}
+	stripTile := geom.Coord(2 * 2600)
+	nl := netlist.DatapathRegular(32, 10, 3)
+	if testing.Short() {
+		nl = netlist.DatapathRegular(12, 3, 3)
+	}
+	newFlow := func() *flow.Flow {
+		fl, err := flow.New(f.kit, flow.Config{Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fl
+	}
+	pl, err := newFlow().Place(nl, strip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	histSum := func(snap obs.Snapshot, name string) float64 {
+		for _, h := range snap.Histograms {
+			if h.Name == name {
+				return h.Sum
+			}
+		}
+		return 0
+	}
+	stages := []string{"prep", "kernel", "post"}
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	for i := 0; i < b.N; i++ {
+		tb := report.NewTable("throughput: batched pipeline GOMAXPROCS series, strip "+nl.Name+" (fast model, batch 16 + cache)",
+			"gomaxprocs", "windows", "wall", "windows/sec", "stage busy ms (p/k/p)", "stage wait ms (p/k/p)", "occupancy (p/k/p)")
+		rateS := report.Series{Name: "windows_per_sec"}
+		for _, procs := range []int{1, 4, 8} {
+			runtime.GOMAXPROCS(procs)
+			sink := obs.NewSink()
+			fl := newFlow().EnableCache(0).EnableObs(sink)
+			t0 := time.Now()
+			exts, err := fl.ExtractGates(pl.Chip, nil, flow.ExtractOptions{
+				Mode: flow.OPCModel, Batch: 16,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := fl.VerifyChip(pl.Chip, flow.ORCOptions{
+				Mode: flow.OPCModel, TileNM: stripTile, Batch: 16,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wall := time.Since(t0)
+			windows := len(exts) + rep.Tiles
+			snap := sink.Metrics.Snapshot()
+			var busyCol, waitCol, occCol []string
+			for _, st := range stages {
+				busy := histSum(snap, "par.pipeline_"+st+"_busy_ns")
+				wait := histSum(snap, "par.pipeline_"+st+"_wait_ns")
+				occ := 0.0
+				if busy+wait > 0 {
+					occ = busy / (busy + wait)
+				}
+				busyCol = append(busyCol, fmt.Sprintf("%.0f", busy/1e6))
+				waitCol = append(waitCol, fmt.Sprintf("%.0f", wait/1e6))
+				occCol = append(occCol, fmt.Sprintf("%.2f", occ))
+			}
+			rate := float64(windows) / wall.Seconds()
+			tb.AddF(2, procs, windows, wall.Round(time.Millisecond).String(), rate,
+				strings.Join(busyCol, "/"), strings.Join(waitCol, "/"), strings.Join(occCol, "/"))
+			rateS.X = append(rateS.X, float64(procs))
+			rateS.Y = append(rateS.Y, rate)
+		}
 		printOnce(b, i, func() {
 			tb.Fprint(stdout)
 			report.WriteSeriesCSV(stdout, []report.Series{rateS})

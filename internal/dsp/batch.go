@@ -1,6 +1,10 @@
 package dsp
 
-import "fmt"
+import (
+	"fmt"
+
+	"postopc/internal/dsp/vek"
+)
 
 // BatchPlan executes same-size 2-D transforms over many grids with one plan
 // resolution: the bit-reversal and twiddle tables of both dimensions are
@@ -10,11 +14,11 @@ import "fmt"
 //
 // Determinism contract: for every grid in the batch the sequence of
 // floating-point operations applied to that grid is identical to the
-// corresponding single-grid Grid method (FFT2D, IFFT2D, FFT2DBandSelect,
-// IFFT2DBandLimited) — the tables come from the same plan cache and each
-// column/row runs the same butterfly code — so batched and per-grid
-// transforms are bit-identical. Only the interleaving across (independent)
-// grids differs.
+// corresponding single-grid Grid/FGrid method (FFT2D, IFFT2D,
+// FFT2DBandSelect, IFFT2DBandLimited) — the tables come from the same plan
+// cache and each column/row runs the same vek kernel code — so batched and
+// per-grid transforms are bit-identical. Only the interleaving across
+// (independent) grids differs.
 type BatchPlan struct {
 	nx, ny   int
 	row, col *plan
@@ -34,11 +38,11 @@ func PlanBatch(nx, ny int) (*BatchPlan, error) {
 //postopc:allocfree
 func (bp *BatchPlan) Size() (nx, ny int) { return bp.nx, bp.ny }
 
-// check verifies every grid matches the planned size.
-func (bp *BatchPlan) check(grids []*Grid) error {
-	for _, g := range grids {
-		if g.Nx != bp.nx || g.Ny != bp.ny {
-			return fmt.Errorf("dsp: grid %dx%d in batch planned for %dx%d", g.Nx, g.Ny, bp.nx, bp.ny)
+// checkPlanes verifies every plane grid matches the planned size.
+func (bp *BatchPlan) checkPlanes(fs []*FGrid) error {
+	for _, f := range fs {
+		if f.Nx != bp.nx || f.Ny != bp.ny {
+			return fmt.Errorf("dsp: grid %dx%d in batch planned for %dx%d", f.Nx, f.Ny, bp.nx, bp.ny)
 		}
 	}
 	return nil
@@ -54,72 +58,150 @@ func (bp *BatchPlan) checkRows(rows []int) error {
 	return nil
 }
 
-// rowsAll transforms the listed spectrum rows (all rows when rows is nil)
-// of every grid through the shared row plan.
+// rowsAllPlanes transforms the listed spectrum rows (all rows when rows is
+// nil) of every plane grid through the shared row plan.
 //
 //postopc:allocfree
-func (bp *BatchPlan) rowsAll(grids []*Grid, rows []int, inverse bool) {
-	for _, g := range grids {
+func (bp *BatchPlan) rowsAllPlanes(fs []*FGrid, rows []int, inverse bool) {
+	for _, f := range fs {
 		if rows == nil {
 			for iy := 0; iy < bp.ny; iy++ {
-				fftLine(g.Data[iy*bp.nx:(iy+1)*bp.nx], bp.row, inverse)
+				fftLinePlanes(f.Re[iy*bp.nx:(iy+1)*bp.nx], f.Im[iy*bp.nx:(iy+1)*bp.nx], bp.row, inverse)
 			}
 			continue
 		}
 		for _, iy := range rows {
-			fftLine(g.Data[iy*bp.nx:(iy+1)*bp.nx], bp.row, inverse)
+			fftLinePlanes(f.Re[iy*bp.nx:(iy+1)*bp.nx], f.Im[iy*bp.nx:(iy+1)*bp.nx], bp.row, inverse)
 		}
 	}
 }
 
-// columnsAll transforms every column of every grid, interleaving the
-// cache-blocked butterflies across grids: block b of grid 0 is followed by
-// block b of grid 1, so the (shared, hot) twiddle tables stay resident
-// while the batch streams through memory. The inverse 1/Ny scaling divides
-// each element exactly once, as transformColumns does.
+// columnsAllPlanes transforms every column of every plane grid,
+// interleaving the cache-blocked butterflies across grids: block b of grid
+// 0 is followed by block b of grid 1, so the (shared, hot) twiddle tables
+// stay resident while the batch streams through memory. The inverse 1/Ny
+// scaling divides each element exactly once, as FGrid.transformColumns
+// does.
 //
 //postopc:allocfree
-func (bp *BatchPlan) columnsAll(grids []*Grid, inverse bool) {
+func (bp *BatchPlan) columnsAllPlanes(fs []*FGrid, inverse bool) {
 	for c0 := 0; c0 < bp.nx; c0 += columnBlockW {
 		cw := columnBlockW
 		if bp.nx-c0 < cw {
 			cw = bp.nx - c0
 		}
-		for _, g := range grids {
-			fftColumnsBlock(g.Data, bp.nx, bp.col, inverse, c0, cw)
+		for _, f := range fs {
+			fftColumnsBlockPlanes(f.Re, f.Im, bp.nx, bp.col, inverse, c0, cw)
 		}
 	}
 	if inverse {
-		nC := complex(float64(bp.ny), 0)
-		for _, g := range grids {
-			d := g.Data
-			for i := range d {
-				d[i] /= nC
-			}
+		for _, f := range fs {
+			vek.ScaleInv(f.Re, f.Im, float64(bp.ny))
 		}
 	}
+}
+
+// FFT2DAllPlanes performs the forward 2-D FFT over every plane grid in
+// place — bit-identical per grid to FGrid.FFT2D (rows first, then columns).
+func (bp *BatchPlan) FFT2DAllPlanes(fs []*FGrid) error {
+	if err := bp.checkPlanes(fs); err != nil {
+		return err
+	}
+	bp.rowsAllPlanes(fs, nil, false)
+	bp.columnsAllPlanes(fs, false)
+	return nil
+}
+
+// IFFT2DAllPlanes performs the inverse 2-D FFT (scaled) over every plane
+// grid in place — bit-identical per grid to FGrid.IFFT2D.
+func (bp *BatchPlan) IFFT2DAllPlanes(fs []*FGrid) error {
+	if err := bp.checkPlanes(fs); err != nil {
+		return err
+	}
+	bp.rowsAllPlanes(fs, nil, true)
+	bp.columnsAllPlanes(fs, true)
+	return nil
+}
+
+// FFT2DBandSelectAllPlanes performs the forward transform of every plane
+// grid computing only the listed spectrum rows — bit-identical per grid to
+// FGrid.FFT2DBandSelect (full column pass, then the selected rows). Rows
+// outside the list are left partially transformed and must not be read.
+func (bp *BatchPlan) FFT2DBandSelectAllPlanes(fs []*FGrid, rows []int) error {
+	if err := bp.checkPlanes(fs); err != nil {
+		return err
+	}
+	if err := bp.checkRows(rows); err != nil {
+		return err
+	}
+	bp.columnsAllPlanes(fs, false)
+	bp.rowsAllPlanes(fs, rows, false)
+	return nil
+}
+
+// IFFT2DBandLimitedAllPlanes performs the inverse transform of spectra
+// whose energy is confined to the listed rows — bit-identical per grid to
+// FGrid.IFFT2DBandLimited. Rows outside the list must be zero.
+func (bp *BatchPlan) IFFT2DBandLimitedAllPlanes(fs []*FGrid, rows []int) error {
+	if err := bp.checkPlanes(fs); err != nil {
+		return err
+	}
+	if err := bp.checkRows(rows); err != nil {
+		return err
+	}
+	bp.rowsAllPlanes(fs, rows, true)
+	bp.columnsAllPlanes(fs, true)
+	return nil
+}
+
+// stageAll borrows pooled FGrids holding every grid's values as planes.
+func stageAll(grids []*Grid) []*FGrid {
+	fs := make([]*FGrid, len(grids))
+	for i, g := range grids {
+		fs[i] = BorrowFGrid(g.Nx, g.Ny)
+		fs[i].LoadGrid(g)
+	}
+	return fs
+}
+
+// unstageAll stores the planes back into the grids and returns the FGrids
+// to the pool.
+func unstageAll(fs []*FGrid, grids []*Grid) {
+	for i, f := range fs {
+		f.StoreGrid(grids[i])
+		ReturnFGrid(f)
+	}
+}
+
+// batchPlanes runs op over the staged plane views of grids, storing the
+// results back on success.
+func (bp *BatchPlan) batchPlanes(grids []*Grid, op func([]*FGrid) error) error {
+	for _, g := range grids {
+		if g.Nx != bp.nx || g.Ny != bp.ny {
+			return fmt.Errorf("dsp: grid %dx%d in batch planned for %dx%d", g.Nx, g.Ny, bp.nx, bp.ny)
+		}
+	}
+	fs := stageAll(grids)
+	if err := op(fs); err != nil {
+		for _, f := range fs {
+			ReturnFGrid(f)
+		}
+		return err
+	}
+	unstageAll(fs, grids)
+	return nil
 }
 
 // FFT2DAll performs the forward 2-D FFT over every grid in place —
 // bit-identical per grid to Grid.FFT2D (rows first, then columns).
 func (bp *BatchPlan) FFT2DAll(grids []*Grid) error {
-	if err := bp.check(grids); err != nil {
-		return err
-	}
-	bp.rowsAll(grids, nil, false)
-	bp.columnsAll(grids, false)
-	return nil
+	return bp.batchPlanes(grids, bp.FFT2DAllPlanes)
 }
 
 // IFFT2DAll performs the inverse 2-D FFT (scaled) over every grid in place
 // — bit-identical per grid to Grid.IFFT2D.
 func (bp *BatchPlan) IFFT2DAll(grids []*Grid) error {
-	if err := bp.check(grids); err != nil {
-		return err
-	}
-	bp.rowsAll(grids, nil, true)
-	bp.columnsAll(grids, true)
-	return nil
+	return bp.batchPlanes(grids, bp.IFFT2DAllPlanes)
 }
 
 // FFT2DBandSelectAll performs the forward transform of every grid computing
@@ -127,28 +209,16 @@ func (bp *BatchPlan) IFFT2DAll(grids []*Grid) error {
 // Grid.FFT2DBandSelect (full column pass, then the selected rows). Rows
 // outside the list are left partially transformed and must not be read.
 func (bp *BatchPlan) FFT2DBandSelectAll(grids []*Grid, rows []int) error {
-	if err := bp.check(grids); err != nil {
-		return err
-	}
-	if err := bp.checkRows(rows); err != nil {
-		return err
-	}
-	bp.columnsAll(grids, false)
-	bp.rowsAll(grids, rows, false)
-	return nil
+	return bp.batchPlanes(grids, func(fs []*FGrid) error {
+		return bp.FFT2DBandSelectAllPlanes(fs, rows)
+	})
 }
 
 // IFFT2DBandLimitedAll performs the inverse transform of spectra whose
 // energy is confined to the listed rows — bit-identical per grid to
 // Grid.IFFT2DBandLimited. Rows outside the list must be zero.
 func (bp *BatchPlan) IFFT2DBandLimitedAll(grids []*Grid, rows []int) error {
-	if err := bp.check(grids); err != nil {
-		return err
-	}
-	if err := bp.checkRows(rows); err != nil {
-		return err
-	}
-	bp.rowsAll(grids, rows, true)
-	bp.columnsAll(grids, true)
-	return nil
+	return bp.batchPlanes(grids, func(fs []*FGrid) error {
+		return bp.IFFT2DBandLimitedAllPlanes(fs, rows)
+	})
 }

@@ -8,6 +8,8 @@ package dsp
 import (
 	"fmt"
 	"math/bits"
+
+	"postopc/internal/dsp/vek"
 )
 
 // NextPow2 returns the smallest power of two >= n (and >= 1).
@@ -27,23 +29,23 @@ func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // FFT performs an in-place forward radix-2 FFT on x. len(x) must be a power
 // of two.
-func FFT(x []complex128) error {
-	n := len(x)
-	if !IsPow2(n) {
-		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
-	}
-	fftPlanned(x, planFor(n), false)
-	return nil
-}
+func FFT(x []complex128) error { return fft1d(x, false) }
 
 // IFFT performs an in-place inverse FFT on x (including the 1/N scaling).
 // len(x) must be a power of two.
-func IFFT(x []complex128) error {
+func IFFT(x []complex128) error { return fft1d(x, true) }
+
+//postopc:allocfree
+func fft1d(x []complex128, inverse bool) error {
 	n := len(x)
 	if !IsPow2(n) {
-		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n) //postopc:nolint:allocbudget error construction is the failure path
 	}
-	fftLine(x, planFor(n), true)
+	f := BorrowFGrid(n, 1)
+	defer ReturnFGrid(f)
+	vek.Split(f.Re, f.Im, x)
+	fftLinePlanes(f.Re, f.Im, planFor(n), inverse)
+	vek.Join(x, f.Re, f.Im)
 	return nil
 }
 
@@ -94,17 +96,20 @@ func (g *Grid) FFT2D() error { return g.fft2d(false) }
 func (g *Grid) IFFT2D() error { return g.fft2d(true) }
 
 func (g *Grid) fft2d(inverse bool) error {
-	if !IsPow2(g.Nx) || !IsPow2(g.Ny) {
-		return fmt.Errorf("dsp: grid %dx%d not power-of-two", g.Nx, g.Ny)
+	// Stage the whole grid through pooled SoA planes once: one
+	// deinterleave/reinterleave pair amortized over both passes, with the
+	// row and column butterflies running on the vek kernel layer. Per
+	// element the float operation sequence matches the historical
+	// complex128 implementation, so results are bit-identical.
+	f, err := g.borrowPlanes()
+	if err != nil {
+		return err
 	}
-	// Rows first, then columns — the order is load-bearing: floating-point
-	// rounding differs between the two factorizations, and determinism
-	// tests pin this one.
-	rowPlan := planFor(g.Nx)
-	for iy := 0; iy < g.Ny; iy++ {
-		fftLine(g.Data[iy*g.Nx:(iy+1)*g.Nx], rowPlan, inverse)
+	defer ReturnFGrid(f)
+	if err := f.fft2d(inverse); err != nil {
+		return err
 	}
-	g.transformColumns(inverse)
+	f.StoreGrid(g)
 	return nil
 }
 
@@ -120,17 +125,15 @@ func (g *Grid) fft2d(inverse bool) error {
 // rounding, so a caller must not mix values from both paths and expect
 // byte equality.
 func (g *Grid) FFT2DBandSelect(rows []int) error {
-	if !IsPow2(g.Nx) || !IsPow2(g.Ny) {
-		return fmt.Errorf("dsp: grid %dx%d not power-of-two", g.Nx, g.Ny)
+	f, err := g.borrowPlanes()
+	if err != nil {
+		return err
 	}
-	g.transformColumns(false)
-	rowPlan := planFor(g.Nx)
-	for _, iy := range rows {
-		if iy < 0 || iy >= g.Ny {
-			return fmt.Errorf("dsp: band-select row %d outside grid of %d rows", iy, g.Ny)
-		}
-		fftLine(g.Data[iy*g.Nx:(iy+1)*g.Nx], rowPlan, false)
+	defer ReturnFGrid(f)
+	if err := f.FFT2DBandSelect(rows); err != nil {
+		return err
 	}
+	f.StoreGrid(g)
 	return nil
 }
 
@@ -140,35 +143,30 @@ func (g *Grid) FFT2DBandSelect(rows []int) error {
 // pass is full. For such spectra the result equals IFFT2D; rows outside the
 // list must be zero or the transform is wrong.
 func (g *Grid) IFFT2DBandLimited(rows []int) error {
-	if !IsPow2(g.Nx) || !IsPow2(g.Ny) {
-		return fmt.Errorf("dsp: grid %dx%d not power-of-two", g.Nx, g.Ny)
+	f, err := g.borrowPlanes()
+	if err != nil {
+		return err
 	}
-	rowPlan := planFor(g.Nx)
-	for _, iy := range rows {
-		if iy < 0 || iy >= g.Ny {
-			return fmt.Errorf("dsp: band-limited row %d outside grid of %d rows", iy, g.Ny)
-		}
-		fftLine(g.Data[iy*g.Nx:(iy+1)*g.Nx], rowPlan, true)
+	defer ReturnFGrid(f)
+	if err := f.IFFT2DBandLimited(rows); err != nil {
+		return err
 	}
-	g.transformColumns(true)
+	f.StoreGrid(g)
 	return nil
 }
 
-// transformColumns transforms every column in place through the blocked
-// butterfly path — no per-column gather/scatter copy. The inverse 1/Ny
-// scaling is applied grid-wide, which divides each element exactly once,
-// the same operation the per-column scaling performed.
+// borrowPlanes borrows a pooled FGrid holding g's values as SoA planes, the
+// working representation of every transform. The caller must StoreGrid the
+// result back (on success) and return the FGrid to the pool.
 //
 //postopc:allocfree
-func (g *Grid) transformColumns(inverse bool) {
-	fftColumnsBlocked(g.Data, g.Nx, planFor(g.Ny), inverse)
-	if inverse {
-		nC := complex(float64(g.Ny), 0)
-		d := g.Data
-		for i := range d {
-			d[i] /= nC
-		}
+func (g *Grid) borrowPlanes() (*FGrid, error) {
+	if !IsPow2(g.Nx) || !IsPow2(g.Ny) {
+		return nil, fmt.Errorf("dsp: grid %dx%d not power-of-two", g.Nx, g.Ny) //postopc:nolint:allocbudget error construction is the failure path
 	}
+	f := BorrowFGrid(g.Nx, g.Ny)
+	f.LoadGrid(g)
+	return f, nil
 }
 
 // FreqIndex maps grid index i (0..n-1) to the signed frequency bin

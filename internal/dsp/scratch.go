@@ -42,3 +42,35 @@ func ReturnGrid(g *Grid) {
 		gridPool.Put(g)
 	}
 }
+
+var fgridPool sync.Pool
+
+// BorrowFGrid returns an Nx × Ny plane grid from the pool, allocating only
+// when no pooled grid is large enough. Contents are unspecified — callers
+// must overwrite, Clear, or LoadGrid before reading.
+//
+//postopc:allocfree
+func BorrowFGrid(nx, ny int) *FGrid {
+	f, _ := fgridPool.Get().(*FGrid)
+	if f == nil {
+		return NewFGrid(nx, ny) //postopc:nolint:allocbudget pool miss before warm-up is the cold path
+	}
+	n := nx * ny
+	if cap(f.Re) < n {
+		f.Re = make([]float64, n) //postopc:nolint:allocbudget regrowth at a new window size is the cold path
+		f.Im = make([]float64, n) //postopc:nolint:allocbudget regrowth at a new window size is the cold path
+	}
+	f.Nx, f.Ny = nx, ny
+	f.Re, f.Im = f.Re[:n], f.Im[:n]
+	return f
+}
+
+// ReturnFGrid puts f back into the pool. The caller must not use f (or its
+// planes) afterwards.
+//
+//postopc:allocfree
+func ReturnFGrid(f *FGrid) {
+	if f != nil {
+		fgridPool.Put(f)
+	}
+}

@@ -1,0 +1,123 @@
+package vek_test
+
+import (
+	"testing"
+
+	"postopc/internal/dsp/vek"
+)
+
+// BenchmarkKernelInnerLoops is the micro-series behind BENCH_kernel.json's
+// kernel_micro block: each of the three dominant inner loops — butterfly,
+// pointwise filter apply, scaled intensity accumulate — timed as the
+// complex128 reference loop and as the SoA plane kernel, at the span
+// length the real pipeline uses (a 256-wide row/column block). Run once
+// per GOAMD64 level:
+//
+//	go test ./internal/dsp/vek/ -run - -bench KernelInnerLoops
+//	GOAMD64=v3 go test ./internal/dsp/vek/ -run - -bench KernelInnerLoops
+//
+// The v1 rows measure the four-wide unrolled generic path against the
+// interleaved complex128 loop; the v3 rows measure the AVX2 path.
+const benchN = 256
+
+func benchComplexLine(seed float64) []complex128 {
+	xs := make([]complex128, benchN)
+	for i := range xs {
+		xs[i] = complex(seed+float64(i)*0.25, seed-float64(i)*0.125)
+	}
+	return xs
+}
+
+func benchPlanes(seed float64) (re, im []float64) {
+	re = make([]float64, benchN)
+	im = make([]float64, benchN)
+	vek.Split(re, im, benchComplexLine(seed))
+	return re, im
+}
+
+func BenchmarkKernelInnerLoops(b *testing.B) {
+	b.Logf("goamd64=%q simd=%v", vek.BuildLevel(), vek.SIMDEnabled())
+
+	b.Run("butterfly/complex128", func(b *testing.B) {
+		lo := benchComplexLine(1.5)
+		hi := benchComplexLine(-0.75)
+		w := complex(0.6, -0.8)
+		b.SetBytes(benchN * 16 * 2)
+		for i := 0; i < b.N; i++ {
+			for c := range lo {
+				a := lo[c]
+				bb := hi[c] * w
+				lo[c] = a + bb
+				hi[c] = a - bb
+			}
+		}
+	})
+	b.Run("butterfly/soa", func(b *testing.B) {
+		loRe, loIm := benchPlanes(1.5)
+		hiRe, hiIm := benchPlanes(-0.75)
+		b.SetBytes(benchN * 16 * 2)
+		for i := 0; i < b.N; i++ {
+			vek.ButterflyCol(loRe, loIm, hiRe, hiIm, 0.6, -0.8)
+		}
+	})
+
+	b.Run("filter-apply/complex128", func(b *testing.B) {
+		s := benchComplexLine(0.5)
+		v := benchComplexLine(2.0)
+		dst := make([]complex128, benchN)
+		b.SetBytes(benchN * 16 * 2)
+		for i := 0; i < b.N; i++ {
+			for c := range dst {
+				dst[c] = s[c] * v[c]
+			}
+		}
+	})
+	b.Run("filter-apply/soa", func(b *testing.B) {
+		sRe, sIm := benchPlanes(0.5)
+		vRe, vIm := benchPlanes(2.0)
+		dRe := make([]float64, benchN)
+		dIm := make([]float64, benchN)
+		b.SetBytes(benchN * 16 * 2)
+		for i := 0; i < b.N; i++ {
+			vek.CMul(dRe, dIm, sRe, sIm, vRe, vIm)
+		}
+	})
+
+	b.Run("accumulate/complex128", func(b *testing.B) {
+		field := benchComplexLine(0.25)
+		acc := make([]float64, benchN)
+		b.SetBytes(benchN * (16 + 8))
+		for i := 0; i < b.N; i++ {
+			for c, e := range field {
+				re, im := real(e), imag(e)
+				acc[c] += 0.125 * (re*re + im*im)
+			}
+		}
+	})
+	b.Run("accumulate/soa", func(b *testing.B) {
+		fRe, fIm := benchPlanes(0.25)
+		acc := make([]float64, benchN)
+		b.SetBytes(benchN * (16 + 8))
+		for i := 0; i < b.N; i++ {
+			vek.AccIntensity(acc, fRe, fIm, 0.125)
+		}
+	})
+
+	b.Run("scale-inv/complex128", func(b *testing.B) {
+		xs := benchComplexLine(3.0)
+		nC := complex(float64(benchN), 0)
+		b.SetBytes(benchN * 16)
+		for i := 0; i < b.N; i++ {
+			for c := range xs {
+				xs[c] /= nC
+			}
+		}
+	})
+	b.Run("scale-inv/soa", func(b *testing.B) {
+		re, im := benchPlanes(3.0)
+		b.SetBytes(benchN * 16)
+		for i := 0; i < b.N; i++ {
+			vek.ScaleInv(re, im, benchN)
+		}
+	})
+}

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package vek
+
+// Features describes the CPU capabilities relevant to the kernel layer.
+// Off amd64 nothing is detected; both fields read false.
+type Features struct {
+	AVX2 bool
+	FMA  bool
+}
+
+// CPU returns the detected host features.
+func CPU() Features { return Features{} }

@@ -1,0 +1,11 @@
+package vek
+
+// The generic (non-SIMD) kernel bodies, exported for the SIMD-vs-generic
+// bit-identity tests. On GOAMD64=v3 builds the public kernels dispatch to
+// AVX2 assembly; these always run the four-wide unrolled Go path.
+var (
+	ButterflyColGeneric = butterflyColGeneric
+	ButterflyRowGeneric = butterflyRowGeneric
+	CMulGeneric         = cmulGeneric
+	AccIntensityGeneric = accIntensityGeneric
+)

@@ -1,0 +1,11 @@
+package vek
+
+// BuildLevel returns the GOAMD64 microarchitecture level this binary was
+// compiled for ("v1".."v4"), or the empty string off amd64. BENCH_*.json
+// host blocks record it so cross-host comparisons know which instruction
+// baseline — and therefore which vek dispatch path — produced the numbers.
+func BuildLevel() string { return buildLevel }
+
+// SIMDEnabled reports whether the AVX2 kernel path is compiled into this
+// binary (GOAMD64 >= v3).
+func SIMDEnabled() bool { return simdOn }

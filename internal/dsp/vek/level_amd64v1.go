@@ -1,0 +1,5 @@
+//go:build amd64 && !amd64.v2
+
+package vek
+
+const buildLevel = "v1"

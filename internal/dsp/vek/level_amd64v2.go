@@ -1,0 +1,5 @@
+//go:build amd64.v2 && !amd64.v3
+
+package vek
+
+const buildLevel = "v2"

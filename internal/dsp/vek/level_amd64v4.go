@@ -1,0 +1,5 @@
+//go:build amd64.v4
+
+package vek
+
+const buildLevel = "v4"

@@ -1,0 +1,5 @@
+//go:build !amd64
+
+package vek
+
+const buildLevel = ""

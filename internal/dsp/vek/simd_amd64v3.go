@@ -1,0 +1,28 @@
+//go:build amd64.v3
+
+package vek
+
+// GOAMD64=v3 guarantees AVX2 (x86-64-v3 baseline), so the SIMD kernels are
+// compiled in and dispatched unconditionally — no runtime feature check on
+// the hot path. The assembly performs the identical per-lane IEEE-754
+// operation sequence as the generic path: VMULPD/VADDPD/VSUBPD only, no
+// VFMADD (the no-FMA contract), no cross-lane arithmetic. n must be a
+// multiple of 4; the Go wrappers run the remainder through the generic
+// tail.
+const simdOn = true
+
+//postopc:allocfree
+//go:noescape
+func butterflyColSIMD(loRe, loIm, hiRe, hiIm *float64, wr, wi float64, n int)
+
+//postopc:allocfree
+//go:noescape
+func butterflyRowSIMD(loRe, loIm, hiRe, hiIm, twRe, twIm *float64, n int)
+
+//postopc:allocfree
+//go:noescape
+func cmulSIMD(dstRe, dstIm, aRe, aIm, bRe, bIm *float64, n int)
+
+//postopc:allocfree
+//go:noescape
+func accIntensitySIMD(acc, re, im *float64, w float64, n int)

@@ -1,0 +1,29 @@
+//go:build !amd64.v3
+
+package vek
+
+// Below GOAMD64=v3 the AVX2 baseline is not guaranteed, so the kernels run
+// the generic scalar path only. The stubs below are never reached: simdOn
+// is a compile-time constant, so every `if simdOn` branch is
+// dead-code-eliminated.
+const simdOn = false
+
+//postopc:allocfree
+func butterflyColSIMD(loRe, loIm, hiRe, hiIm *float64, wr, wi float64, n int) {
+	panic("vek: SIMD kernel called in a non-v3 build")
+}
+
+//postopc:allocfree
+func butterflyRowSIMD(loRe, loIm, hiRe, hiIm, twRe, twIm *float64, n int) {
+	panic("vek: SIMD kernel called in a non-v3 build")
+}
+
+//postopc:allocfree
+func cmulSIMD(dstRe, dstIm, aRe, aIm, bRe, bIm *float64, n int) {
+	panic("vek: SIMD kernel called in a non-v3 build")
+}
+
+//postopc:allocfree
+func accIntensitySIMD(acc, re, im *float64, w float64, n int) {
+	panic("vek: SIMD kernel called in a non-v3 build")
+}

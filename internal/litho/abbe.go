@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"postopc/internal/dsp"
+	"postopc/internal/dsp/vek"
 	"postopc/internal/geom"
 	"postopc/internal/obs"
 )
@@ -79,8 +80,8 @@ func (a *Abbe) aerialOne(mask *geom.Raster, c Corner) (*Image, error) {
 	ny := dsp.NextPow2(mask.Ny)
 	fs := a.filtersFor(nx, ny, float64(mask.Pixel), c.DefocusNM)
 	bg := a.backgroundLevel()
-	t := a.transmissionGrid(mask, nx, ny, bg)
-	defer dsp.ReturnGrid(t)
+	t := a.transmissionPlanes(mask, nx, ny, bg)
+	defer dsp.ReturnFGrid(t)
 	if err := t.FFT2DBandSelect(fs.unionRows); err != nil {
 		return nil, err
 	}
@@ -100,26 +101,30 @@ func (a *Abbe) backgroundLevel() float64 {
 	return 1
 }
 
-// transmissionGrid builds the complex transmission over a borrowed
-// power-of-two grid, padding outside the mask with the background level.
+// transmissionPlanes builds the complex transmission over a borrowed
+// power-of-two plane grid, padding outside the mask with the background
+// level. The transmission is real, so the imaginary plane is simply zeroed.
 // The caller owns the grid and must return it to the pool.
 //
 //postopc:allocfree
-func (a *Abbe) transmissionGrid(mask *geom.Raster, nx, ny int, bg float64) *dsp.Grid {
-	t := dsp.BorrowGrid(nx, ny)
-	for i := range t.Data {
-		t.Data[i] = complex(bg, 0)
+func (a *Abbe) transmissionPlanes(mask *geom.Raster, nx, ny int, bg float64) *dsp.FGrid {
+	t := dsp.BorrowFGrid(nx, ny)
+	re := t.Re
+	for i := range re {
+		re[i] = bg
 	}
+	vek.Zero(t.Im)
 	for iy := 0; iy < mask.Ny; iy++ {
-		for ix := 0; ix < mask.Nx; ix++ {
-			cov := mask.Data[iy*mask.Nx+ix]
-			var tv float64
-			if a.recipe.Polarity == ClearField {
-				tv = 1 - cov // chrome blocks light
-			} else {
-				tv = cov // opening passes light
+		row := re[iy*nx : iy*nx+mask.Nx]
+		mrow := mask.Data[iy*mask.Nx : (iy+1)*mask.Nx]
+		if a.recipe.Polarity == ClearField {
+			for ix, cov := range mrow {
+				row[ix] = 1 - cov // chrome blocks light
 			}
-			t.Set(ix, iy, complex(tv, 0))
+		} else {
+			for ix, cov := range mrow {
+				row[ix] = cov // opening passes light
+			}
 		}
 	}
 	return t
@@ -152,8 +157,8 @@ func (a *Abbe) AerialSeries(mask *geom.Raster, corners []Corner) ([]*Image, erro
 
 	// Transmission grid, padded with the polarity's background level.
 	bg := a.backgroundLevel()
-	t := a.transmissionGrid(mask, nx, ny, bg)
-	defer dsp.ReturnGrid(t)
+	t := a.transmissionPlanes(mask, nx, ny, bg)
+	defer dsp.ReturnFGrid(t)
 	// The filters only read the union support rows of the spectrum, so the
 	// forward transform computes just those.
 	if err := t.FFT2DBandSelect(spectrumRows); err != nil {
@@ -192,7 +197,7 @@ func (a *Abbe) resolveSets(nx, ny int, px float64, corners []Corner) (sets []*fi
 // imageCorners runs the filtered source sum of every corner over the
 // band-selected spectrum t, aliasing duplicate-defocus corners to the
 // earlier corner's image per the AerialSeries contract.
-func (a *Abbe) imageCorners(t *dsp.Grid, mask *geom.Raster, corners []Corner, sets []*filterSet, bg float64, ks *kernelScratch) ([]*Image, error) {
+func (a *Abbe) imageCorners(t *dsp.FGrid, mask *geom.Raster, corners []Corner, sets []*filterSet, bg float64, ks *kernelScratch) ([]*Image, error) {
 	order := make([]*Image, len(corners))
 	for ci, c := range corners {
 		if sets[ci] == nil { // duplicate defocus: alias the earlier image
@@ -214,37 +219,34 @@ func (a *Abbe) imageCorners(t *dsp.Grid, mask *geom.Raster, corners []Corner, se
 }
 
 // aerialFiltered runs the folded source-point sum for one filter set.
-// spectrum is the band-selected FFT of the transmission grid and must not
-// be modified.
-func (a *Abbe) aerialFiltered(spectrum *dsp.Grid, mask *geom.Raster, fs *filterSet, bg float64, ks *kernelScratch) (*Image, error) {
+// spectrum is the band-selected FFT of the transmission planes and must not
+// be modified. The whole loop runs on the vek kernel layer: a CMul per
+// support row (work = spectrum × P(f + fs)), the band-limited inverse
+// transform, and an AccIntensity over the grid — each performing per
+// element the exact float sequence of the complex128 loop it replaced.
+func (a *Abbe) aerialFiltered(spectrum *dsp.FGrid, mask *geom.Raster, fs *filterSet, bg float64, ks *kernelScratch) (*Image, error) {
 	nx, ny := spectrum.Nx, spectrum.Ny
 	ks.acc = growFloats(ks.acc, nx*ny)
 	acc := ks.acc
-	for i := range acc {
-		acc[i] = 0
-	}
-	work := dsp.BorrowGrid(nx, ny)
-	defer dsp.ReturnGrid(work)
+	vek.Zero(acc)
+	work := dsp.BorrowFGrid(nx, ny)
+	defer dsp.ReturnFGrid(work)
 	for pi := range fs.points {
 		pf := &fs.points[pi]
 		// work = spectrum × P(f + fs), nonzero only on the support rows.
 		work.Clear()
 		for ri, iy := range pf.rows {
-			vrow := pf.vals[ri*nx : ri*nx+nx]
-			srow := spectrum.Data[iy*nx : iy*nx+nx]
-			wrow := work.Data[iy*nx : iy*nx+nx]
-			for ix := range wrow {
-				wrow[ix] = srow[ix] * vrow[ix]
-			}
+			o := ri * nx
+			s := iy * nx
+			vek.CMul(
+				work.Re[s:s+nx], work.Im[s:s+nx],
+				spectrum.Re[s:s+nx], spectrum.Im[s:s+nx],
+				pf.valsRe[o:o+nx], pf.valsIm[o:o+nx])
 		}
 		if err := work.IFFT2DBandLimited(pf.rows); err != nil {
 			return nil, err
 		}
-		w := pf.weight
-		for i, e := range work.Data {
-			re, im := real(e), imag(e)
-			acc[i] += w * (re*re + im*im)
-		}
+		vek.AccIntensity(acc, work.Re, work.Im, pf.weight)
 	}
 
 	out := NewImage(mask)

@@ -79,11 +79,11 @@ func (a *Abbe) AerialBatch(masks []*geom.Raster, corners []Corner) ([][]*Image, 
 			return nil, err
 		}
 		sets, rows := a.resolveSets(g.nx, g.ny, g.px, corners)
-		grids := make([]*dsp.Grid, len(g.idx))
+		grids := make([]*dsp.FGrid, len(g.idx))
 		for k, mi := range g.idx {
-			grids[k] = a.transmissionGrid(masks[mi], g.nx, g.ny, bg)
+			grids[k] = a.transmissionPlanes(masks[mi], g.nx, g.ny, bg)
 		}
-		err = bp.FFT2DBandSelectAll(grids, rows)
+		err = bp.FFT2DBandSelectAllPlanes(grids, rows)
 		if err == nil {
 			for k, mi := range g.idx {
 				imgs, ierr := a.imageCorners(grids[k], masks[mi], corners, sets, bg, ks)
@@ -95,7 +95,7 @@ func (a *Abbe) AerialBatch(masks []*geom.Raster, corners []Corner) ([][]*Image, 
 			}
 		}
 		for _, gr := range grids {
-			dsp.ReturnGrid(gr)
+			dsp.ReturnFGrid(gr)
 		}
 		if err != nil {
 			return nil, err

@@ -50,9 +50,11 @@ type pointFilter struct {
 	// rows lists the spectrum rows (iy indices, ascending) intersecting the
 	// shifted pupil.
 	rows []int
-	// vals holds len(rows)*nx filter values, row-major; zero outside the
-	// pupil so the apply loop is branch-free.
-	vals []complex128
+	// valsRe/valsIm hold len(rows)*nx filter values as structure-of-arrays
+	// planes (row-major, matching dsp.FGrid), zero outside the pupil so the
+	// apply loop is a branch-free vek.CMul per support row. Splitting the
+	// complex values into planes moves no bit.
+	valsRe, valsIm []float64
 }
 
 // filterSet is the bank entry for one filterKey.
@@ -185,7 +187,8 @@ func buildFilterSet(r Recipe, source []SourcePoint, nx, ny int, px, defocusNM fl
 
 	fs := &filterSet{points: make([]pointFilter, 0, len(picks))}
 	inUnion := make([]bool, ny)
-	row := make([]complex128, nx)
+	rowRe := make([]float64, nx)
+	rowIm := make([]float64, nx)
 	for _, pk := range picks {
 		sp := source[pk.idx]
 		fsx := sp.SX * fmax
@@ -198,7 +201,7 @@ func buildFilterSet(r Recipe, source []SourcePoint, nx, ny int, px, defocusNM fl
 				fx := float64(dsp.FreqIndex(ix, nx))*dfx + fsx
 				f2 := fx*fx + fy*fy
 				if f2 > fmax*fmax {
-					row[ix] = 0
+					rowRe[ix], rowIm[ix] = 0, 0
 					continue
 				}
 				v := complex(1, 0)
@@ -207,12 +210,13 @@ func buildFilterSet(r Recipe, source []SourcePoint, nx, ny int, px, defocusNM fl
 					ph := math.Pi * lambda * defocusNM * f2
 					v = cmplx.Exp(complex(0, ph))
 				}
-				row[ix] = v
+				rowRe[ix], rowIm[ix] = real(v), imag(v)
 				any = true
 			}
 			if any {
 				pf.rows = append(pf.rows, iy)
-				pf.vals = append(pf.vals, row...)
+				pf.valsRe = append(pf.valsRe, rowRe...)
+				pf.valsIm = append(pf.valsIm, rowIm...)
 				if !inUnion[iy] {
 					inUnion[iy] = true
 					fs.unionRows = append(fs.unionRows, iy)

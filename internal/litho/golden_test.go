@@ -1,0 +1,67 @@
+package litho
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"testing"
+)
+
+// Golden-SHA pins of the Abbe aerial image. The hashes were recorded from
+// the pre-vek complex128 kernel path; the SoA kernel layer (internal/dsp/vek)
+// preserves the exact floating-point operation sequence of that code, so
+// the images must stay byte-identical — across the refactor AND across
+// GOAMD64 build levels (the kernels contain no fused operations, see the
+// no-FMA contract in DESIGN.md "SIMD inner loops"). CI runs this test under
+// both the default GOAMD64 and the v3 lane; a hash change on either means a
+// kernel reordered, fused or otherwise perturbed a float operation.
+
+// goldenAerialSHA256 hashes the image: dimensions, background and every
+// sample as its exact IEEE-754 bit pattern, little-endian.
+func goldenAerialSHA256(im *Image) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(im.Nx))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(im.Ny))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(im.Background))
+	h.Write(buf[:])
+	for _, v := range im.Data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestAbbeAerialGoldenSHA locks the nominal and defocused Abbe images of
+// the fixed 256×256 grating window to their recorded hashes. The defocused
+// corner exercises the unfolded full source sum and the complex pupil
+// phases; nominal exercises Hermitian folding. Together they cover every
+// vek kernel: transmission fill, forward band-selected butterflies, the
+// filter apply, the inverse band-limited butterflies with their 1/N
+// scaling, and the intensity accumulate.
+func TestAbbeAerialGoldenSHA(t *testing.T) {
+	golden := map[string]string{
+		"nominal":    "c7d23219c1727153264c63589ed8da02f118e5143339dde5992efd6bc6f98829",
+		"defocus120": "db29a873f1b6e4d818dd2221ec2f6401b239ca668b952e3d8ccf7d014b90b0b3",
+	}
+	m := newAbbeT(t)
+	mask := benchMask256()
+	for name, c := range map[string]Corner{
+		"nominal":    Nominal,
+		"defocus120": {DefocusNM: 120, Dose: 1},
+	} {
+		im, err := m.Aerial(mask, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := goldenAerialSHA256(im)
+		if want := golden[name]; got != want {
+			t.Errorf("%s aerial SHA-256 = %s, want %s\n"+
+				"(a mismatch means a kernel changed its floating-point op sequence;"+
+				" see the bit-identity contract in DESIGN.md)", name, got, want)
+		}
+	}
+}
