@@ -29,7 +29,10 @@ func main() {
 	inputs := flag.Int("inputs", 16, "primary inputs for -design rand")
 	doPlace := flag.Bool("place", false, "run the row placer and print stats instead of Verilog")
 	out := flag.String("o", "", "output file (default stdout)")
+	tel := cli.Telemetry("chipgen")
 	flag.Parse()
+	tel.Start()
+	defer tel.Close()
 
 	n, err := build(*design, *size, *inputs, *seed)
 	if err != nil {

@@ -32,7 +32,9 @@ func main() {
 	size := flag.Int("size", 4, "benchmark size")
 	plf := flag.String("plf", "", "check a chip from a .plf layout file")
 	limit := flag.Int("limit", 20, "violations to print")
+	tel := cli.Telemetry("drc")
 	flag.Parse()
+	tel.Start()
 
 	p := pdk.N90()
 	var violations []drc.Violation
@@ -91,6 +93,7 @@ func main() {
 
 	if len(violations) == 0 {
 		fmt.Println("DRC clean")
+		tel.Close()
 		return
 	}
 	tb := report.NewTable(fmt.Sprintf("%d DRC violations", len(violations)),
@@ -103,6 +106,9 @@ func main() {
 		tb.AddF(0, v.Rule, v.At.String(), v.RequiredNM, v.Context)
 	}
 	tb.Fprint(os.Stdout)
+	// A dirty check still produced full telemetry; export before the
+	// non-zero exit (os.Exit skips deferred calls).
+	tel.Close()
 	os.Exit(1)
 }
 

@@ -33,7 +33,10 @@ func main() {
 	sweep := flag.String("sweep-pitch", "", "pitch sweep lo:hi:step (nm); prints a CD series")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	svg := flag.String("svg", "", "write an SVG of the drawn mask with the printed contour overlay")
+	tel := cli.Telemetry("lithosim")
 	flag.Parse()
+	tel.Start()
+	defer tel.Close()
 
 	p := pdk.N90()
 	m, err := buildModel(*model, p)

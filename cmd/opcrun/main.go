@@ -5,6 +5,7 @@
 //
 //	opcrun -width 90 -pitch 340 -mode model
 //	opcrun -width 90 -pitch 0 -mode rule -model gauss
+//	opcrun -width 90 -batch 64 -ledger run.ledger
 package main
 
 import (

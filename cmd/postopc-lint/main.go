@@ -3,11 +3,13 @@
 //
 // Standalone, it takes go-list package patterns plus flags:
 //
-//	postopc-lint [-json] [-timing] [-j N] ./...
+//	postopc-lint [-json] [-timing] [-j N] [-ledger file] ./...
 //
 // -json renders findings as SARIF 2.1.0 on stdout (CI ingests the file as
 // a code-scanning artifact); the default is file:line:col: analyzer:
-// message text. -timing prints per-analyzer wall-clock to stderr. -j
+// message text. -timing prints per-analyzer wall-clock to stderr.
+// -ledger writes a run ledger (manifest, per-analyzer latency, finding
+// count) that postopc-report can summarize and diff. -j
 // bounds the driver's worker pool (0 = GOMAXPROCS, 1 = serial); output is
 // byte-identical at any setting. Packages are analyzed in dependency
 // order so analyzer facts (cache-key coverage, allocation-freedom) flow
@@ -36,6 +38,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -46,11 +49,12 @@ import (
 	"postopc/internal/analysis/sarif"
 	"postopc/internal/analysis/suite"
 	"postopc/internal/cli"
+	"postopc/internal/obs"
 )
 
 func main() {
 	var patterns []string
-	var cfg string
+	var cfg, ledger string
 	var jsonOut, timing bool
 	workers := 0
 	args := os.Args[1:]
@@ -69,6 +73,11 @@ func main() {
 			jsonOut = true
 		case arg == "-timing":
 			timing = true
+		case strings.HasPrefix(arg, "-ledger="):
+			ledger = strings.TrimPrefix(arg, "-ledger=")
+		case arg == "-ledger" && i+1 < len(args):
+			i++
+			ledger = args[i]
 		case strings.HasPrefix(arg, "-j="):
 			n, err := strconv.Atoi(strings.TrimPrefix(arg, "-j="))
 			if err != nil {
@@ -107,6 +116,12 @@ func main() {
 	if timing {
 		printTimings(os.Stderr, res.Timings)
 	}
+	if ledger != "" {
+		if err := writeLintLedger(ledger, pkgs, res); err != nil {
+			cli.Fatal("postopc-lint", err)
+		}
+		fmt.Fprintln(os.Stderr, "postopc-lint: wrote run ledger to", ledger)
+	}
 	if jsonOut {
 		root, _ := os.Getwd()
 		if err := sarif.Write(os.Stdout, sarif.New("postopc-lint", suite.Analyzers, res.Findings, root)); err != nil {
@@ -121,6 +136,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "postopc-lint: %d finding(s)\n", len(res.Findings))
 		os.Exit(1)
 	}
+}
+
+// writeLintLedger exports a lint run as a run ledger: build manifest,
+// suite shape, per-analyzer wall-clock and the finding count — enough for
+// postopc-report to diff two lint runs like any other tool's ledger.
+func writeLintLedger(path string, pkgs []*load.Package, res *driver.Result) error {
+	sink := obs.NewSink().WithJournal(0)
+	bi := obs.GetBuildInfo()
+	sink.Journal.SetManifest(obs.Manifest{
+		Tool:        "postopc-lint",
+		Args:        os.Args[1:],
+		GoVersion:   bi.GoVersion,
+		GOOS:        bi.GOOS,
+		GOARCH:      bi.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		VekLevel:    bi.VekLevel,
+		CPUFeatures: bi.CPUFeatures,
+		Module:      bi.Module,
+	})
+	sink.Journal.SetField("lint.packages", strconv.Itoa(len(pkgs)))
+	sink.Journal.SetField("lint.analyzers", strconv.Itoa(len(suite.Analyzers)))
+	sink.Counter("lint.findings_total").Add(uint64(len(res.Findings)))
+	for _, t := range res.Timings {
+		sink.LatencyHistogram("lint." + t.Analyzer + "_ns").Observe(float64(t.Nanos))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := sink.WriteLedger(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // printTimings reports per-analyzer wall-clock, slowest first. Timing is

@@ -10,6 +10,7 @@
 //	postopc-sta -design rca -size 8 -clock 2600 -mc 500
 //	postopc-sta -design rca -size 8 -corners -defocus-steps 3 -dose-steps 2
 //	postopc-sta -design rca -size 8 -trace run.json -metrics metrics.prom
+//	postopc-sta -design rca -size 8 -cache -ledger run.ledger
 package main
 
 import (

@@ -15,8 +15,10 @@
 // The analyzer flags, outside package main, _test.go files and the obs
 // package itself: calls to the obs read API (Counter.Value, Gauge.Value,
 // Registry.Snapshot, Tracer.Events, Tracer.SummaryTable,
-// Tracer.WriteChromeTrace, WritePrometheus, Handler) and comparisons of
-// span identifiers (branching on trace topology is reading it).
+// Tracer.WriteChromeTrace, WritePrometheus, Handler, plus the run-ledger
+// and flight-recorder read half — WriteLedger, ReadLedger, SummaryTables,
+// Flight.Recent, Flight.Dump) and comparisons of span identifiers
+// (branching on trace topology is reading it).
 package obswrite
 
 import (
@@ -46,9 +48,14 @@ var readAPI = map[string]bool{
 	"Snapshot":         true,
 	"Events":           true,
 	"SummaryTable":     true,
+	"SummaryTables":    true,
 	"WriteChromeTrace": true,
 	"WritePrometheus":  true,
 	"Handler":          true,
+	"WriteLedger":      true,
+	"ReadLedger":       true,
+	"Recent":           true,
+	"Dump":             true,
 }
 
 func run(pass *analysis.Pass) error {

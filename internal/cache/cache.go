@@ -246,6 +246,11 @@ func (s *Store) Do(k Key, compute func() (any, error)) (any, error) {
 	return val, err
 }
 
+// Cap returns the store's effective bound on completed entries (the
+// requested bound rounded up to the shard count) — a run-manifest fact,
+// never an input to any cached computation.
+func (s *Store) Cap() int { return s.perShard * numShards }
+
 // Stats snapshots the counters.
 func (s *Store) Stats() Stats {
 	st := Stats{

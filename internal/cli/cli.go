@@ -1,7 +1,7 @@
 // Package cli holds the shared command-line plumbing of the cmd/ tools:
 // uniform fatal-error diagnostics (every tool prefixes stderr with its
 // name and exits non-zero) and the run-telemetry flags (-metrics, -trace,
-// -pprof) that attach an obs.Sink to a run and export it at exit.
+// -pprof, -ledger) that attach an obs.Sink to a run and export it at exit.
 package cli
 
 import (
@@ -10,14 +10,25 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"runtime"
+	"time"
 
 	"postopc/internal/obs"
 )
 
+// flightRing, when set by TelemetryFlags.Start, is dumped to stderr on
+// every fatal exit (and on SIGQUIT, see sigquit_unix.go): the last spans
+// before the crash, straight from the lock-free ring.
+var flightRing *obs.Flight
+
 // Fatal prints "tool: err" to stderr and exits with status 1. Every cmd/
 // binary funnels its fatal paths through this so diagnostics are uniform
-// across the tool set.
+// across the tool set. When a flight recorder is live (-ledger), its ring
+// is dumped first — the tail of the span trace that led to the failure.
 func Fatal(tool string, err error) {
+	if flightRing != nil {
+		flightRing.Dump(os.Stderr) //postopc:nolint:obswrite crash path: the dump IS the export boundary
+	}
 	fmt.Fprintln(os.Stderr, tool+":", err)
 	os.Exit(1)
 }
@@ -27,7 +38,8 @@ func Fatalf(tool, format string, args ...interface{}) {
 	Fatal(tool, fmt.Errorf(format, args...))
 }
 
-// Telemetry wires the -metrics/-trace/-pprof flags to an obs.Sink. Usage:
+// Telemetry wires the -metrics/-trace/-pprof/-ledger flags to an
+// obs.Sink. Usage:
 //
 //	tel := cli.Telemetry("mytool")
 //	flag.Parse()
@@ -42,14 +54,18 @@ type TelemetryFlags struct {
 	metrics string
 	trace   string
 	pprof   string
+	ledger  string
 
 	// Sink is the run's telemetry sink; nil until Start decides the run
 	// is instrumented.
 	Sink *obs.Sink
+
+	// srv is the live -metrics server, shut down gracefully by Close.
+	srv *http.Server
 }
 
-// Telemetry registers -metrics, -trace and -pprof on the default FlagSet.
-// Call before flag.Parse; Start after.
+// Telemetry registers -metrics, -trace, -pprof and -ledger on the default
+// FlagSet. Call before flag.Parse; Start after.
 func Telemetry(tool string) *TelemetryFlags {
 	t := &TelemetryFlags{tool: tool}
 	flag.StringVar(&t.metrics, "metrics", "",
@@ -58,13 +74,17 @@ func Telemetry(tool string) *TelemetryFlags {
 		"write the run's spans to this file as Chrome trace-event JSON (load via chrome://tracing or Perfetto)")
 	flag.StringVar(&t.pprof, "pprof", "",
 		"serve net/http/pprof on \":port\" for live CPU/heap profiling")
+	flag.StringVar(&t.ledger, "ledger", "",
+		"write the run ledger to this file as JSON lines: manifest, metrics, exact per-stage percentiles, per-window records and slowest-window exemplars (diff two with postopc-report)")
 	return t
 }
 
 // Start creates the sink when any telemetry flag was given and launches
-// the -metrics/-pprof HTTP servers. Server failures (e.g. a busy port)
-// are fatal: asking for telemetry and silently not getting it would be
-// worse than stopping.
+// the -metrics/-pprof HTTP servers. -ledger additionally attaches the run
+// journal and a flight-recorder ring (dumped on fatal exits and SIGQUIT)
+// and stamps the run manifest. Server failures (e.g. a busy port) are
+// fatal: asking for telemetry and silently not getting it would be worse
+// than stopping.
 func (t *TelemetryFlags) Start() {
 	if t.pprof != "" {
 		go func() {
@@ -73,14 +93,32 @@ func (t *TelemetryFlags) Start() {
 			}
 		}()
 	}
-	if t.metrics == "" && t.trace == "" {
+	if t.metrics == "" && t.trace == "" && t.ledger == "" {
 		return
 	}
 	t.Sink = obs.NewSink()
+	if t.ledger != "" {
+		t.Sink.WithJournal(0).WithFlightRecorder(512)
+		bi := obs.GetBuildInfo()
+		t.Sink.Journal.SetManifest(obs.Manifest{
+			Tool:        t.tool,
+			Args:        os.Args[1:],
+			GoVersion:   bi.GoVersion,
+			GOOS:        bi.GOOS,
+			GOARCH:      bi.GOARCH,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
+			VekLevel:    bi.VekLevel,
+			CPUFeatures: bi.CPUFeatures,
+			Module:      bi.Module,
+		})
+		flightRing = t.Sink.Flight
+		installQuitDump()
+	}
 	if isPort(t.metrics) {
-		reg := t.Sink.Metrics
+		t.srv = obs.NewServer(t.metrics, t.Sink.Metrics)
 		go func() {
-			if err := http.ListenAndServe(t.metrics, obs.Handler(reg)); err != nil { //postopc:nolint:obswrite the -metrics server is the export boundary
+			if err := t.srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				Fatalf(t.tool, "metrics server: %v", err)
 			}
 		}()
@@ -88,13 +126,15 @@ func (t *TelemetryFlags) Start() {
 }
 
 // Close exports the collected telemetry: the Prometheus file for a
-// file-valued -metrics, the Chrome trace for -trace, and a per-span
-// summary table on stdout when tracing was on. Call once, at the end of a
-// successful run.
+// file-valued -metrics, the Chrome trace for -trace, the run ledger for
+// -ledger, and a per-span summary table on stdout when tracing was on.
+// The live -metrics server, if any, is drained gracefully. Call once, at
+// the end of a successful run.
 func (t *TelemetryFlags) Close() {
 	if t.Sink == nil {
 		return
 	}
+	obs.ShutdownServer(t.srv, 2*time.Second)
 	if t.metrics != "" && !isPort(t.metrics) {
 		f, err := os.Create(t.metrics)
 		if err != nil {
@@ -123,6 +163,20 @@ func (t *TelemetryFlags) Close() {
 		}
 		t.Sink.Trace.SummaryTable().Fprint(os.Stdout) //postopc:nolint:obswrite Close runs after the computation; this is the export boundary
 		fmt.Println("wrote trace to", t.trace)
+	}
+	if t.ledger != "" {
+		f, err := os.Create(t.ledger)
+		if err != nil {
+			Fatal(t.tool, err)
+		}
+		werr := t.Sink.WriteLedger(f) //postopc:nolint:obswrite Close runs after the computation; this is the export boundary
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			Fatal(t.tool, werr)
+		}
+		fmt.Println("wrote run ledger to", t.ledger)
 	}
 }
 

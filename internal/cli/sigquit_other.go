@@ -1,0 +1,7 @@
+//go:build !unix
+
+package cli
+
+// installQuitDump is a no-op where SIGQUIT does not exist; fatal exits
+// still dump the flight ring via Fatal.
+func installQuitDump() {}

@@ -90,8 +90,12 @@ func stageImageBatch(env *stageEnv, masks [][]geom.Polygon, bounds []geom.Rect, 
 // stageWindowBatch computes the window artifacts of one batch: per-window
 // OPC (identical to stageWindow's), one batched imaging call, per-window
 // contour → profile. Results and errors are parallel to clips; a window
-// failing OPC drops out of imaging with its own error.
-func stageWindowBatch(env *stageEnv, clips []layout.CanonicalWindow, sites [][]layout.GateSite, corners []litho.Corner, parent obs.SpanID) ([]*WindowArtifact, []error) {
+// failing OPC drops out of imaging with its own error. recs are the
+// members' ledger records (parallel to clips; entries may be nil): OPC,
+// contour and profile are attributed per window, while the shared imaging
+// call's duration is stamped on every live member — the batch amortizes
+// one kernel invocation, so each member's image_ns is the batch's.
+func stageWindowBatch(env *stageEnv, clips []layout.CanonicalWindow, sites [][]layout.GateSite, corners []litho.Corner, recs []*obs.WindowRecord, parent obs.SpanID) ([]*WindowArtifact, []error) {
 	n := len(clips)
 	arts := make([]*WindowArtifact, n)
 	errs := make([]error, n)
@@ -100,7 +104,7 @@ func stageWindowBatch(env *stageEnv, clips []layout.CanonicalWindow, sites [][]l
 	epeVals := make([][]float64, n)
 	live := make([]int, 0, n)
 	for i := range clips {
-		mask, vals, err := stageWindowOPC(env, clips[i], parent)
+		mask, vals, err := stageWindowOPC(env, clips[i], recs[i], parent)
 		if err != nil {
 			errs[i] = err
 			continue
@@ -113,21 +117,25 @@ func stageWindowBatch(env *stageEnv, clips []layout.CanonicalWindow, sites [][]l
 	sp := env.obs.StartChild("stage.image", parent)
 	t0 := env.met.image.StartTimer()
 	imgs, imgErrs := stageImageBatch(env, masks, bounds, corners)
-	env.met.image.ObserveSince(t0)
+	imageNS := env.met.image.TimedSince(t0)
 	sp.End()
+	for _, i := range live {
+		recs[i].Observe(obs.StageImage, imageNS)
+	}
 	for k, i := range live {
 		if imgErrs[k] != nil {
 			errs[i] = imgErrs[k]
 			continue
 		}
-		arts[i] = stageWindowArtifact(env, imgs[k], sites[i], corners, epeVals[i], parent)
+		arts[i] = stageWindowArtifact(env, imgs[k], sites[i], corners, epeVals[i], recs[i], parent)
 	}
 	return arts, errs
 }
 
 // stageTileBatch is stageWindowBatch's ORC counterpart: per-tile OPC, one
-// batched imaging call, per-tile pinch/bridge/pullback scans.
-func stageTileBatch(env *stageEnv, rects [][]geom.Rect, bounds, tiles []geom.Rect, corners []litho.Corner, scan orcScanOptions, parent obs.SpanID) ([]*TileArtifact, []error) {
+// batched imaging call, per-tile pinch/bridge/pullback scans. recs follow
+// stageWindowBatch's attribution.
+func stageTileBatch(env *stageEnv, rects [][]geom.Rect, bounds, tiles []geom.Rect, corners []litho.Corner, scan orcScanOptions, recs []*obs.WindowRecord, parent obs.SpanID) ([]*TileArtifact, []error) {
 	n := len(rects)
 	arts := make([]*TileArtifact, n)
 	errs := make([]error, n)
@@ -135,7 +143,7 @@ func stageTileBatch(env *stageEnv, rects [][]geom.Rect, bounds, tiles []geom.Rec
 	mBounds := make([]geom.Rect, 0, n)
 	live := make([]int, 0, n)
 	for i := range rects {
-		mask, err := stageTileMask(env, rects[i], parent)
+		mask, err := stageTileMask(env, rects[i], recs[i], parent)
 		if err != nil {
 			errs[i] = err
 			continue
@@ -147,8 +155,11 @@ func stageTileBatch(env *stageEnv, rects [][]geom.Rect, bounds, tiles []geom.Rec
 	sp := env.obs.StartChild("stage.image", parent)
 	t0 := env.met.image.StartTimer()
 	imgs, imgErrs := stageImageBatch(env, masks, mBounds, corners)
-	env.met.image.ObserveSince(t0)
+	imageNS := env.met.image.TimedSince(t0)
 	sp.End()
+	for _, i := range live {
+		recs[i].Observe(obs.StageImage, imageNS)
+	}
 	for k, i := range live {
 		if imgErrs[k] != nil {
 			errs[i] = imgErrs[k]
@@ -171,6 +182,7 @@ type windowItem struct {
 	ticket cache.Ticket
 	wait   bool // non-leader ticket: resolved by the post stage
 	art    *WindowArtifact
+	rec    *obs.WindowRecord // ledger record (nil when no journal)
 }
 
 // extractGatesBatched is the Batch > 1 path of ExtractGates: the resolved
@@ -189,6 +201,11 @@ func (f *Flow) extractGatesBatched(env *stageEnv, chip *layout.Chip, insts []*la
 			lo, hi := batchRange(n, size, b)
 			for i := lo; i < hi; i++ {
 				it := &items[i]
+				if env.jrn != nil {
+					// Worker is stamped by the kernel stage's slot; -1 marks
+					// a window that never reached it (prep error).
+					it.rec = &obs.WindowRecord{Index: i, Kind: "window", Class: "compute", Batch: b, Worker: -1}
+				}
 				inst := insts[i]
 				sites := inst.GateSites()
 				if len(sites) == 0 {
@@ -200,7 +217,7 @@ func (f *Flow) extractGatesBatched(env *stageEnv, chip *layout.Chip, insts []*la
 				t0 := env.met.clip.StartTimer()
 				window := cdx.WindowOf(sites, ambit)
 				it.clip = stageClip(chip, window)
-				env.met.clip.ObserveSince(t0)
+				it.rec.Observe(obs.StageClip, env.met.clip.TimedSince(t0))
 				sp.End()
 				if len(it.clip.Polys) == 0 {
 					it.err = fmt.Errorf("flow: no poly in window of %s", inst.Name)
@@ -218,15 +235,16 @@ func (f *Flow) extractGatesBatched(env *stageEnv, chip *layout.Chip, insts []*la
 						Channel: s.Channel.Translate(geom.Pt(-it.clip.Origin.X, -it.clip.Origin.Y)),
 					}
 				}
-				env.met.canonicalize.ObserveSince(t0)
+				it.rec.Observe(obs.StageCanonicalize, env.met.canonicalize.TimedSince(t0))
 				sp.End()
-				if f.Cache != nil {
+				if f.Cache != nil || it.rec != nil {
 					it.key = windowSignature(env, it.clip, it.csites, opt.Corners)
+					recordSig(it.rec, it.key)
 				}
 			}
 			return nil
 		}},
-		{Name: "kernel", Fn: func(b int) error {
+		{Name: "kernel", FnW: func(b, w int) error {
 			lo, hi := batchRange(n, size, b)
 			// Classify each member: ready hits resolve here and skip the
 			// kernels, leaders compute below, non-leaders wait in post.
@@ -236,6 +254,9 @@ func (f *Flow) extractGatesBatched(env *stageEnv, chip *layout.Chip, insts []*la
 				if it.skip {
 					continue
 				}
+				if it.rec != nil {
+					it.rec.Worker = w
+				}
 				if f.Cache == nil {
 					leaders = append(leaders, i)
 					continue
@@ -243,13 +264,16 @@ func (f *Flow) extractGatesBatched(env *stageEnv, chip *layout.Chip, insts []*la
 				tk := f.Cache.Reserve(it.key)
 				switch {
 				case tk.Leader():
+					recordClass(it.rec, "miss")
 					it.ticket = tk
 					leaders = append(leaders, i)
 				case tk.Ready():
+					recordClass(it.rec, "hit")
 					v, err := tk.Wait()
 					art, _ := v.(*WindowArtifact)
 					it.art, it.err = art, err
 				default:
+					recordClass(it.rec, "wait")
 					it.ticket, it.wait = tk, true
 				}
 			}
@@ -258,11 +282,13 @@ func (f *Flow) extractGatesBatched(env *stageEnv, chip *layout.Chip, insts []*la
 			}
 			clips := make([]layout.CanonicalWindow, len(leaders))
 			sites := make([][]layout.GateSite, len(leaders))
+			recs := make([]*obs.WindowRecord, len(leaders))
 			for k, i := range leaders {
 				clips[k] = items[i].clip
 				sites[k] = items[i].csites
+				recs[k] = items[i].rec
 			}
-			arts, errs := stageWindowBatch(env, clips, sites, opt.Corners, parent)
+			arts, errs := stageWindowBatch(env, clips, sites, opt.Corners, recs, parent)
 			for k, i := range leaders {
 				it := &items[i]
 				it.art, it.err = arts[k], errs[k]
@@ -283,6 +309,7 @@ func (f *Flow) extractGatesBatched(env *stageEnv, chip *layout.Chip, insts []*la
 					art, _ := v.(*WindowArtifact)
 					it.art, it.err = art, err
 				}
+				env.jrn.Record(it.rec)
 				if it.err != nil {
 					continue
 				}
@@ -323,6 +350,7 @@ type tileItem struct {
 	ticket cache.Ticket
 	wait   bool
 	art    *TileArtifact
+	rec    *obs.WindowRecord // ledger record (nil when no journal)
 }
 
 // verifyChipBatched is the Batch > 1 path of VerifyChip: row-major tiles
@@ -341,11 +369,14 @@ func (f *Flow) verifyChipBatched(env *stageEnv, chip *layout.Chip, tiles []geom.
 			lo, hi := batchRange(n, size, b)
 			for i := lo; i < hi; i++ {
 				it := &items[i]
+				if env.jrn != nil {
+					it.rec = &obs.WindowRecord{Index: i, Kind: "tile", Class: "compute", Batch: b, Worker: -1}
+				}
 				window := tiles[i].Expand(guard + env.PitchNM)
 				sp := env.obs.StartChild("stage.clip", parent)
 				t0 := env.met.clip.StartTimer()
 				it.origin, it.rects = chip.CanonicalWindowRects(layout.LayerPoly, window)
-				env.met.clip.ObserveSince(t0)
+				it.rec.Observe(obs.StageClip, env.met.clip.TimedSince(t0))
 				sp.End()
 				if len(it.rects) == 0 {
 					continue // nothing drawn: an empty shard, not an error
@@ -353,19 +384,23 @@ func (f *Flow) verifyChipBatched(env *stageEnv, chip *layout.Chip, tiles []geom.
 				back := geom.Pt(-it.origin.X, -it.origin.Y)
 				it.window = window.Translate(back)
 				it.tile = tiles[i].Translate(back)
-				if f.Cache != nil {
+				if f.Cache != nil || it.rec != nil {
 					it.key = tileSignature(env, it.rects, it.window, it.tile, opt.Corners, scan)
+					recordSig(it.rec, it.key)
 				}
 			}
 			return nil
 		}},
-		{Name: "kernel", Fn: func(b int) error {
+		{Name: "kernel", FnW: func(b, w int) error {
 			lo, hi := batchRange(n, size, b)
 			var leaders []int
 			for i := lo; i < hi; i++ {
 				it := &items[i]
 				if len(it.rects) == 0 {
 					continue
+				}
+				if it.rec != nil {
+					it.rec.Worker = w
 				}
 				if f.Cache == nil {
 					leaders = append(leaders, i)
@@ -374,13 +409,16 @@ func (f *Flow) verifyChipBatched(env *stageEnv, chip *layout.Chip, tiles []geom.
 				tk := f.Cache.Reserve(it.key)
 				switch {
 				case tk.Leader():
+					recordClass(it.rec, "miss")
 					it.ticket = tk
 					leaders = append(leaders, i)
 				case tk.Ready():
+					recordClass(it.rec, "hit")
 					v, err := tk.Wait()
 					art, _ := v.(*TileArtifact)
 					it.art, it.err = art, err
 				default:
+					recordClass(it.rec, "wait")
 					it.ticket, it.wait = tk, true
 				}
 			}
@@ -390,12 +428,14 @@ func (f *Flow) verifyChipBatched(env *stageEnv, chip *layout.Chip, tiles []geom.
 			rects := make([][]geom.Rect, len(leaders))
 			bounds := make([]geom.Rect, len(leaders))
 			interiors := make([]geom.Rect, len(leaders))
+			recs := make([]*obs.WindowRecord, len(leaders))
 			for k, i := range leaders {
 				rects[k] = items[i].rects
 				bounds[k] = items[i].window
 				interiors[k] = items[i].tile
+				recs[k] = items[i].rec
 			}
-			arts, errs := stageTileBatch(env, rects, bounds, interiors, opt.Corners, scan, parent)
+			arts, errs := stageTileBatch(env, rects, bounds, interiors, opt.Corners, scan, recs, parent)
 			for k, i := range leaders {
 				it := &items[i]
 				it.art, it.err = arts[k], errs[k]
@@ -414,6 +454,7 @@ func (f *Flow) verifyChipBatched(env *stageEnv, chip *layout.Chip, tiles []geom.
 					art, _ := v.(*TileArtifact)
 					it.art, it.err = art, err
 				}
+				env.jrn.Record(it.rec)
 				shard := &ORCReport{ByKind: map[HotspotKind]int{}}
 				shards[i] = shard
 				if it.err != nil || it.art == nil {

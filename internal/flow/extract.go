@@ -3,6 +3,7 @@ package flow
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"postopc/internal/cdx"
@@ -89,13 +90,20 @@ func (f *Flow) ExtractInstance(chip *layout.Chip, inst *layout.Instance, opt Ext
 	if len(opt.Corners) == 0 {
 		opt.Corners = []litho.Corner{litho.Nominal}
 	}
-	return f.extractInstance(env, chip, inst, opt, 0)
+	return f.extractInstance(env, chip, inst, opt, 0, 0, 0)
 }
 
 // extractInstance is ExtractInstance with the stage environment already
 // built (ExtractGates builds it once for all workers). parent is the
-// telemetry span the per-window stage spans nest under (0 for a root).
-func (f *Flow) extractInstance(env *stageEnv, chip *layout.Chip, inst *layout.Instance, opt ExtractOptions, parent obs.SpanID) (*GateExtraction, error) {
+// telemetry span the per-window stage spans nest under (0 for a root);
+// idx and worker are the window's position and pool slot, recorded in the
+// run ledger — scheduling metadata, never inputs the result depends on.
+func (f *Flow) extractInstance(env *stageEnv, chip *layout.Chip, inst *layout.Instance, opt ExtractOptions, idx, worker int, parent obs.SpanID) (*GateExtraction, error) {
+	var rec *obs.WindowRecord
+	if env.jrn != nil {
+		rec = &obs.WindowRecord{Index: idx, Kind: "window", Class: "compute", Batch: -1, Worker: worker}
+		defer env.jrn.Record(rec)
+	}
 	sites := inst.GateSites()
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("flow: instance %s has no gate sites", inst.Name)
@@ -106,7 +114,7 @@ func (f *Flow) extractInstance(env *stageEnv, chip *layout.Chip, inst *layout.In
 	t0 := env.met.clip.StartTimer()
 	window := cdx.WindowOf(sites, ambit)
 	clip := stageClip(chip, window)
-	env.met.clip.ObserveSince(t0)
+	rec.Observe(obs.StageClip, env.met.clip.TimedSince(t0))
 	sp.End()
 	if len(clip.Polys) == 0 {
 		return nil, fmt.Errorf("flow: no poly in window of %s", inst.Name)
@@ -125,9 +133,9 @@ func (f *Flow) extractInstance(env *stageEnv, chip *layout.Chip, inst *layout.In
 			Channel: s.Channel.Translate(geom.Pt(-clip.Origin.X, -clip.Origin.Y)),
 		}
 	}
-	env.met.canonicalize.ObserveSince(t0)
+	rec.Observe(obs.StageCanonicalize, env.met.canonicalize.TimedSince(t0))
 	sp.End()
-	art, err := f.cachedWindow(env, clip, csites, opt.Corners, parent)
+	art, err := f.cachedWindow(env, clip, csites, opt.Corners, rec, parent)
 	if err != nil {
 		return nil, fmt.Errorf("flow: window of %s: %w", inst.Name, err)
 	}
@@ -202,13 +210,28 @@ func (f *Flow) ExtractGates(chip *layout.Chip, names []string, opt ExtractOption
 		opt.Corners = []litho.Corner{litho.Nominal}
 	}
 
+	// Run-shape manifest fields: how this extraction was scheduled, so a
+	// ledger diff can tell config drift from genuine regressions.
+	if j := f.Obs.Ledger(); j != nil {
+		j.SetField("flow.extract.mode", opt.Mode.String())
+		j.SetField("flow.extract.workers", strconv.Itoa(opt.Workers))
+		j.SetField("flow.extract.batch", strconv.Itoa(opt.Batch))
+		j.SetField("flow.extract.corners", strconv.Itoa(len(opt.Corners)))
+		j.SetField("flow.extract.gates", strconv.Itoa(len(names)))
+		if f.Cache != nil {
+			j.SetField("flow.cache.entries", strconv.Itoa(f.Cache.Cap()))
+		} else {
+			j.SetField("flow.cache.entries", "off")
+		}
+	}
+
 	sp := f.Obs.Start("flow.extract")
 	exts := make([]*GateExtraction, len(names))
 	if opt.Batch > 1 {
 		err = f.extractGatesBatched(env, chip, insts, opt, exts, sp.ID())
 	} else {
-		err = par.ForEach(len(names), func(i int) error {
-			ext, err := f.extractInstance(env, chip, insts[i], opt, sp.ID())
+		err = par.ForEachWorker(len(names), func(w, i int) error {
+			ext, err := f.extractInstance(env, chip, insts[i], opt, i, w, sp.ID())
 			if err != nil {
 				return err
 			}

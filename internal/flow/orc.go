@@ -3,6 +3,7 @@ package flow
 import (
 	"math"
 	"sort"
+	"strconv"
 
 	"postopc/internal/geom"
 	"postopc/internal/layout"
@@ -151,14 +152,22 @@ func (f *Flow) VerifyChip(chip *layout.Chip, opt ORCOptions) (*ORCReport, error)
 			tiles = append(tiles, geom.R(tx, ty, minC(tx+opt.TileNM, die.X1), minC(ty+opt.TileNM, die.Y1)))
 		}
 	}
+	// Run-shape manifest fields for the ledger (see ExtractGates).
+	if j := f.Obs.Ledger(); j != nil {
+		j.SetField("flow.orc.mode", opt.Mode.String())
+		j.SetField("flow.orc.workers", strconv.Itoa(opt.Workers))
+		j.SetField("flow.orc.batch", strconv.Itoa(opt.Batch))
+		j.SetField("flow.orc.corners", strconv.Itoa(len(opt.Corners)))
+		j.SetField("flow.orc.tiles", strconv.Itoa(len(tiles)))
+	}
 	sp := f.Obs.Start("flow.orc")
 	shards := make([]*ORCReport, len(tiles))
 	if opt.Batch > 1 {
 		err = f.verifyChipBatched(env, chip, tiles, guard, opt, scan, shards, sp.ID())
 	} else {
-		err = par.ForEach(len(tiles), func(i int) error {
+		err = par.ForEachWorker(len(tiles), func(w, i int) error {
 			shard := &ORCReport{ByKind: map[HotspotKind]int{}}
-			if err := f.verifyTile(env, chip, tiles[i], guard, opt.Corners, scan, shard, sp.ID()); err != nil {
+			if err := f.verifyTile(env, chip, tiles[i], guard, opt.Corners, scan, shard, i, w, sp.ID()); err != nil {
 				return err
 			}
 			shards[i] = shard
@@ -192,20 +201,26 @@ func (f *Flow) VerifyChip(chip *layout.Chip, opt ORCOptions) (*ORCReport, error)
 // verifyTile scans one tile: the window is clipped and canonicalized, the
 // scan runs (or is recalled) in canonical coordinates, and the resulting
 // hotspots are mapped back to chip space with their owning instances.
-// parent is the telemetry span the tile's stage spans nest under.
+// parent is the telemetry span the tile's stage spans nest under; idx and
+// worker are the tile's position and pool slot for the run ledger.
 func (f *Flow) verifyTile(env *stageEnv, chip *layout.Chip, tile geom.Rect, guard geom.Coord,
-	corners []litho.Corner, scan orcScanOptions, rep *ORCReport, parent obs.SpanID) error {
+	corners []litho.Corner, scan orcScanOptions, rep *ORCReport, idx, worker int, parent obs.SpanID) error {
+	var rec *obs.WindowRecord
+	if env.jrn != nil {
+		rec = &obs.WindowRecord{Index: idx, Kind: "tile", Class: "compute", Batch: -1, Worker: worker}
+		defer env.jrn.Record(rec)
+	}
 	window := tile.Expand(guard + env.PitchNM)
 	sp := env.obs.StartChild("stage.clip", parent)
 	t0 := env.met.clip.StartTimer()
 	origin, rects := chip.CanonicalWindowRects(layout.LayerPoly, window)
-	env.met.clip.ObserveSince(t0)
+	rec.Observe(obs.StageClip, env.met.clip.TimedSince(t0))
 	sp.End()
 	if len(rects) == 0 {
 		return nil
 	}
 	back := geom.Pt(-origin.X, -origin.Y)
-	art, err := f.cachedTile(env, rects, window.Translate(back), tile.Translate(back), corners, scan, parent)
+	art, err := f.cachedTile(env, rects, window.Translate(back), tile.Translate(back), corners, scan, rec, parent)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package flow
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"postopc/internal/cache"
@@ -40,6 +41,7 @@ func (f *Flow) envFor(mode OPCMode) (*stageEnv, error) {
 		Mode:    mode,
 		obs:     f.Obs,
 		met:     newStageMetrics(f.Obs),
+		jrn:     f.Obs.Ledger(),
 	}
 	if mode == OPCRule {
 		rt, err := f.ruleTable()
@@ -59,6 +61,13 @@ func (f *Flow) envFor(mode OPCMode) (*stageEnv, error) {
 	b = env.CDX.AppendKey(b)
 	b = appendKeyDev(b, env.Dev)
 	env.fingerprint = b
+	// The run ledger's manifest carries a short digest of the environment
+	// fingerprint, so two ledgers can be checked for comparable inputs
+	// before their latencies are diffed.
+	if env.jrn != nil {
+		sum := sha256.Sum256(b)
+		env.jrn.SetField("flow.env."+mode.String(), hex.EncodeToString(sum[:8]))
+	}
 	return env, nil
 }
 
@@ -107,27 +116,81 @@ func tileSignature(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, cor
 	return cache.Key(sha256.Sum256(b))
 }
 
+// recordSig stamps the hex signature into a ledger record (nil-safe).
+func recordSig(rec *obs.WindowRecord, key cache.Key) {
+	if rec != nil {
+		rec.Sig = hex.EncodeToString(key[:])
+	}
+}
+
+// recordClass stamps the cache classification into a ledger record
+// (nil-safe).
+func recordClass(rec *obs.WindowRecord, class string) {
+	if rec != nil {
+		rec.Class = class
+	}
+}
+
 // cachedWindow computes (or recalls) the window artifact for one canonical
 // clip. With no cache attached it simply runs the stages. parent is the
 // telemetry span the stage spans nest under; it never enters the
 // signature (a cache hit recalls the artifact without re-running — and
-// therefore without re-tracing — the stages).
-func (f *Flow) cachedWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.GateSite, corners []litho.Corner, parent obs.SpanID) (*WindowArtifact, error) {
+// therefore without re-tracing — the stages). rec, when non-nil, receives
+// the window's signature and cache classification for the run ledger; it
+// mirrors cache.Do's attribution exactly (leader = miss, ready = hit,
+// blocked single-flight = wait) and never feeds back into the result.
+func (f *Flow) cachedWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.GateSite, corners []litho.Corner, rec *obs.WindowRecord, parent obs.SpanID) (*WindowArtifact, error) {
 	if f.Cache == nil {
-		return stageWindow(env, clip, sites, corners, parent)
+		// No cache: signatures are computed only when the ledger wants
+		// them, so uninstrumented runs keep skipping the hash entirely.
+		if rec != nil {
+			recordSig(rec, windowSignature(env, clip, sites, corners))
+		}
+		return stageWindow(env, clip, sites, corners, rec, parent)
 	}
-	return cache.Do(f.Cache, windowSignature(env, clip, sites, corners), func() (*WindowArtifact, error) {
-		return stageWindow(env, clip, sites, corners, parent)
-	})
+	key := windowSignature(env, clip, sites, corners)
+	recordSig(rec, key)
+	tk := f.Cache.Reserve(key)
+	if tk.Leader() {
+		recordClass(rec, "miss")
+		art, err := stageWindow(env, clip, sites, corners, rec, parent)
+		tk.Complete(art, err)
+		return art, err
+	}
+	if tk.Ready() {
+		recordClass(rec, "hit")
+	} else {
+		recordClass(rec, "wait")
+	}
+	v, err := tk.Wait()
+	art, _ := v.(*WindowArtifact)
+	return art, err
 }
 
 // cachedTile computes (or recalls) the scan artifact for one canonical ORC
-// tile.
-func (f *Flow) cachedTile(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, corners []litho.Corner, scan orcScanOptions, parent obs.SpanID) (*TileArtifact, error) {
+// tile, with the same ledger attribution as cachedWindow.
+func (f *Flow) cachedTile(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, corners []litho.Corner, scan orcScanOptions, rec *obs.WindowRecord, parent obs.SpanID) (*TileArtifact, error) {
 	if f.Cache == nil {
-		return stageTileScan(env, rects, bounds, tile, corners, scan, parent)
+		if rec != nil {
+			recordSig(rec, tileSignature(env, rects, bounds, tile, corners, scan))
+		}
+		return stageTileScan(env, rects, bounds, tile, corners, scan, rec, parent)
 	}
-	return cache.Do(f.Cache, tileSignature(env, rects, bounds, tile, corners, scan), func() (*TileArtifact, error) {
-		return stageTileScan(env, rects, bounds, tile, corners, scan, parent)
-	})
+	key := tileSignature(env, rects, bounds, tile, corners, scan)
+	recordSig(rec, key)
+	tk := f.Cache.Reserve(key)
+	if tk.Leader() {
+		recordClass(rec, "miss")
+		art, err := stageTileScan(env, rects, bounds, tile, corners, scan, rec, parent)
+		tk.Complete(art, err)
+		return art, err
+	}
+	if tk.Ready() {
+		recordClass(rec, "hit")
+	} else {
+		recordClass(rec, "wait")
+	}
+	v, err := tk.Wait()
+	art, _ := v.(*TileArtifact)
+	return art, err
 }

@@ -54,12 +54,13 @@ type stageEnv struct {
 	// the environment half of every window/tile signature.
 	fingerprint []byte //postopc:keyignore the serialized key itself, not an input to it
 
-	// obs and met carry the run's telemetry (write-only, nil-safe). Like
-	// Workers, they are deliberately NOT part of fingerprint: telemetry
-	// observes a computation without being an input to it, so two runs
-	// differing only in instrumentation must share cache entries.
+	// obs, met and jrn carry the run's telemetry (write-only, nil-safe).
+	// Like Workers, they are deliberately NOT part of fingerprint:
+	// telemetry observes a computation without being an input to it, so two
+	// runs differing only in instrumentation must share cache entries.
 	obs *obs.Sink    //postopc:keyignore telemetry observes the computation without being an input
 	met stageMetrics //postopc:keyignore telemetry observes the computation without being an input
+	jrn *obs.Journal //postopc:keyignore telemetry observes the computation without being an input
 }
 
 // stageMetrics are the pre-resolved per-stage latency histograms of one
@@ -240,13 +241,14 @@ func stageProfile(env *stageEnv, gates [][]cdx.GateCD, sites []layout.GateSite, 
 
 // stageWindowOPC runs the OPC half of one window's chain (with its span
 // and timer) — shared verbatim by the per-window and batched paths so the
-// corrected mask and EPE samples are byte-identical between them.
-func stageWindowOPC(env *stageEnv, clip layout.CanonicalWindow, parent obs.SpanID) (mask []geom.Polygon, epeValues []float64, err error) {
+// corrected mask and EPE samples are byte-identical between them. rec
+// receives the stage's duration for the run ledger (nil when no ledger).
+func stageWindowOPC(env *stageEnv, clip layout.CanonicalWindow, rec *obs.WindowRecord, parent obs.SpanID) (mask []geom.Polygon, epeValues []float64, err error) {
 	guard := env.Verify.Recipe().GuardNM
 	sp := env.obs.StartChild("stage.opc", parent)
 	t0 := env.met.opc.StartTimer()
 	mask, epeValues, err = stageOPC(env, clip.Polys, clip.Bounds.Expand(-guard), true)
-	env.met.opc.ObserveSince(t0)
+	rec.Observe(obs.StageOPC, env.met.opc.TimedSince(t0))
 	sp.End()
 	return mask, epeValues, err
 }
@@ -254,11 +256,11 @@ func stageWindowOPC(env *stageEnv, clip layout.CanonicalWindow, parent obs.SpanI
 // stageWindowArtifact runs the contour → profile half of one window's chain
 // over already-computed corner images — shared verbatim by the per-window
 // and batched paths.
-func stageWindowArtifact(env *stageEnv, imgs []*litho.Image, sites []layout.GateSite, corners []litho.Corner, epeValues []float64, parent obs.SpanID) *WindowArtifact {
+func stageWindowArtifact(env *stageEnv, imgs []*litho.Image, sites []layout.GateSite, corners []litho.Corner, epeValues []float64, rec *obs.WindowRecord, parent obs.SpanID) *WindowArtifact {
 	sp := env.obs.StartChild("stage.contour", parent)
 	t0 := env.met.contour.StartTimer()
 	gates := stageContour(env, imgs, sites, corners)
-	env.met.contour.ObserveSince(t0)
+	rec.Observe(obs.StageContour, env.met.contour.TimedSince(t0))
 	sp.End()
 	sp = env.obs.StartChild("stage.profile", parent)
 	t0 = env.met.profile.StartTimer()
@@ -269,7 +271,7 @@ func stageWindowArtifact(env *stageEnv, imgs []*litho.Image, sites []layout.Gate
 	if env.Mode != OPCNone {
 		art.EPE = opc.SummarizeEPE(epeValues, 8)
 	}
-	env.met.profile.ObserveSince(t0)
+	rec.Observe(obs.StageProfile, env.met.profile.TimedSince(t0))
 	sp.End()
 	return art
 }
@@ -278,25 +280,25 @@ func stageWindowArtifact(env *stageEnv, imgs []*litho.Image, sites []layout.Gate
 // clip: the unit of work the pattern cache memoizes for gate extraction.
 // parent is the telemetry span the stage spans nest under (0 when tracing
 // is off or the caller has no enclosing span).
-func stageWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.GateSite, corners []litho.Corner, parent obs.SpanID) (*WindowArtifact, error) {
-	mask, epeValues, err := stageWindowOPC(env, clip, parent)
+func stageWindow(env *stageEnv, clip layout.CanonicalWindow, sites []layout.GateSite, corners []litho.Corner, rec *obs.WindowRecord, parent obs.SpanID) (*WindowArtifact, error) {
+	mask, epeValues, err := stageWindowOPC(env, clip, rec, parent)
 	if err != nil {
 		return nil, err
 	}
 	sp := env.obs.StartChild("stage.image", parent)
 	t0 := env.met.image.StartTimer()
 	imgs, err := stageImage(env, mask, clip.Bounds, corners)
-	env.met.image.ObserveSince(t0)
+	rec.Observe(obs.StageImage, env.met.image.TimedSince(t0))
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return stageWindowArtifact(env, imgs, sites, corners, epeValues, parent), nil
+	return stageWindowArtifact(env, imgs, sites, corners, epeValues, rec, parent), nil
 }
 
 // stageTileMask runs the OPC half of one tile's chain (with its span and
 // timer) — shared verbatim by the per-tile and batched paths.
-func stageTileMask(env *stageEnv, rects []geom.Rect, parent obs.SpanID) ([]geom.Polygon, error) {
+func stageTileMask(env *stageEnv, rects []geom.Rect, rec *obs.WindowRecord, parent obs.SpanID) ([]geom.Polygon, error) {
 	var drawn []geom.Polygon
 	for _, r := range rects {
 		drawn = append(drawn, r.Polygon())
@@ -304,7 +306,7 @@ func stageTileMask(env *stageEnv, rects []geom.Rect, parent obs.SpanID) ([]geom.
 	sp := env.obs.StartChild("stage.opc", parent)
 	t0 := env.met.opc.StartTimer()
 	mask, _, err := stageOPC(env, drawn, geom.Rect{}, false)
-	env.met.opc.ObserveSince(t0)
+	rec.Observe(obs.StageOPC, env.met.opc.TimedSince(t0))
 	sp.End()
 	return mask, err
 }
@@ -328,15 +330,15 @@ func stageTileArtifact(env *stageEnv, imgs []*litho.Image, rects []geom.Rect, ti
 // / bridge / pullback scans over one canonical tile window. rects are the
 // canonical clipped poly rects, bounds the canonical window, tile the
 // canonical interior tile that owns the hotspots.
-func stageTileScan(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, corners []litho.Corner, scan orcScanOptions, parent obs.SpanID) (*TileArtifact, error) {
-	mask, err := stageTileMask(env, rects, parent)
+func stageTileScan(env *stageEnv, rects []geom.Rect, bounds, tile geom.Rect, corners []litho.Corner, scan orcScanOptions, rec *obs.WindowRecord, parent obs.SpanID) (*TileArtifact, error) {
+	mask, err := stageTileMask(env, rects, rec, parent)
 	if err != nil {
 		return nil, err
 	}
 	sp := env.obs.StartChild("stage.image", parent)
 	t0 := env.met.image.StartTimer()
 	imgs, err := stageImage(env, mask, bounds, corners)
-	env.met.image.ObserveSince(t0)
+	rec.Observe(obs.StageImage, env.met.image.TimedSince(t0))
 	sp.End()
 	if err != nil {
 		return nil, err

@@ -13,16 +13,22 @@ import "testing"
 // litho.TestKernelAllocBudget) hold with telemetry compiled in.
 
 // TestDisabledSinkZeroAlloc is the hard budget: a full disabled
-// counter/timer/span round adds zero allocations.
+// counter/timer/span/ledger round adds zero allocations.
 func TestDisabledSinkZeroAlloc(t *testing.T) {
 	var s *Sink
 	c := s.Counter("x")
 	g := s.Gauge("x")
 	h := s.LatencyHistogram("x")
+	j := s.Ledger()
+	var rec *WindowRecord
+	var f *Flight
 	if n := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		g.Set(1)
 		h.ObserveSince(h.StartTimer())
+		rec.Observe(StageOPC, h.TimedSince(h.StartTimer()))
+		j.Record(rec)
+		f.Record(SpanEvent{})
 		sp := s.StartChild("x", 0)
 		sp.End()
 	}); n != 0 {
@@ -73,6 +79,32 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			h.ObserveSince(h.StartTimer())
+		}
+	})
+	b.Run("ledger-record-disabled", func(b *testing.B) {
+		var s *Sink
+		j := s.Ledger()
+		var rec *WindowRecord
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.Observe(StageOPC, 5)
+			j.Record(rec)
+		}
+	})
+	b.Run("ledger-record-enabled", func(b *testing.B) {
+		j := NewJournal(5)
+		rec := &WindowRecord{Kind: "window"}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.Observe(StageOPC, 5)
+		}
+		j.Record(rec)
+	})
+	b.Run("flight-record-enabled", func(b *testing.B) {
+		f := NewFlight(256)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Record(SpanEvent{Name: "x", ID: SpanID(i)})
 		}
 	})
 	b.Run("span-disabled", func(b *testing.B) {

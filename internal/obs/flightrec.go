@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Flight is a bounded lock-free flight recorder: a ring of the most
+// recent completed span events, overwritten in arrival order. It exists
+// for the failure path — when a run dies (cli.Fatal) or is poked with
+// SIGQUIT during an apparent stall, the ring shows what the pipeline was
+// doing in its last moments, without the cost or volume of a full trace.
+//
+// Record is wait-free: a slot index from one atomic add, then an atomic
+// pointer store. Concurrent writers may interleave arbitrarily; Dump
+// sorts the surviving slots by sequence number, so the view is the most
+// recent N completions in completion order (modulo racing overwrites —
+// this is a crash-dump facility, not a deterministic export). The nil
+// *Flight is a no-op.
+type Flight struct {
+	slots []atomic.Pointer[flightSlot]
+	next  atomic.Uint64
+}
+
+type flightSlot struct {
+	seq uint64
+	ev  SpanEvent
+}
+
+// NewFlight returns a flight recorder keeping the last n span events
+// (n <= 0 selects the default of 256).
+func NewFlight(n int) *Flight {
+	if n <= 0 {
+		n = 256
+	}
+	return &Flight{slots: make([]atomic.Pointer[flightSlot], n)}
+}
+
+// Record stores one completed span event in the ring, evicting the
+// oldest. Nil-safe; the live path allocates one slot cell (the recorder
+// rides on the span tracer, which already allocates per event — it adds
+// no cost to the metrics hot path, which never touches it).
+func (f *Flight) Record(ev SpanEvent) {
+	if f == nil {
+		return
+	}
+	seq := f.next.Add(1)
+	f.slots[(seq-1)%uint64(len(f.slots))].Store(&flightSlot{seq: seq, ev: ev})
+}
+
+// Recent returns the surviving ring contents, oldest first.
+func (f *Flight) Recent() []SpanEvent {
+	if f == nil {
+		return nil
+	}
+	type seqEv struct {
+		seq uint64
+		ev  SpanEvent
+	}
+	got := make([]seqEv, 0, len(f.slots))
+	for i := range f.slots {
+		if s := f.slots[i].Load(); s != nil {
+			got = append(got, seqEv{s.seq, s.ev})
+		}
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].seq < got[j].seq })
+	out := make([]SpanEvent, len(got))
+	for i, s := range got {
+		out[i] = s.ev
+	}
+	return out
+}
+
+// Dump writes the ring as human-readable lines: one span per line,
+// oldest first, with start offset and duration in milliseconds.
+func (f *Flight) Dump(w io.Writer) {
+	if f == nil {
+		return
+	}
+	recent := f.Recent()
+	total := f.next.Load()
+	fmt.Fprintf(w, "flight recorder: last %d of %d span(s)\n", len(recent), total)
+	for _, ev := range recent {
+		fmt.Fprintf(w, "  +%12.3fms %8.3fms  %-28s id=%d parent=%d\n",
+			float64(ev.Start)/1e6, float64(ev.Dur)/1e6, ev.Name, ev.ID, ev.Parent)
+	}
+}

@@ -27,8 +27,10 @@
 // "postopc_subsystem_metric" series.
 package obs
 
-// Sink bundles the telemetry backends of one run. Either field may be nil
-// to disable that half; a nil *Sink disables everything. Handles resolved
+import "io"
+
+// Sink bundles the telemetry backends of one run. Any field may be nil
+// to disable that part; a nil *Sink disables everything. Handles resolved
 // from a disabled Sink are nil and no-ops, so callers resolve once and use
 // unconditionally.
 type Sink struct {
@@ -36,16 +38,70 @@ type Sink struct {
 	Metrics *Registry
 	// Trace receives completed spans.
 	Trace *Tracer
+	// Journal receives the run manifest and per-window ledger records
+	// (nil unless the run writes a ledger).
+	Journal *Journal
+	// Flight is the crash-dump ring of recent spans (nil unless enabled).
+	Flight *Flight
 }
 
 // NewSink returns a Sink with both a metrics registry and a tracer.
+// Journal and flight recorder are opt-in via WithJournal /
+// WithFlightRecorder.
 func NewSink() *Sink {
 	return &Sink{Metrics: NewRegistry(), Trace: NewTracer()}
 }
 
+// WithJournal attaches a run journal keeping topK exemplars per stage
+// (<= 0 for the default) and returns the sink.
+func (s *Sink) WithJournal(topK int) *Sink {
+	s.Journal = NewJournal(topK)
+	return s
+}
+
+// WithFlightRecorder attaches a flight-recorder ring of the last n spans
+// (<= 0 for the default) and hooks it into the tracer, so every span End
+// also lands in the ring. Call at setup, before spans are started.
+func (s *Sink) WithFlightRecorder(n int) *Sink {
+	s.Flight = NewFlight(n)
+	if s.Trace != nil {
+		s.Trace.flight = s.Flight
+	}
+	return s
+}
+
 // Enabled reports whether any backend is attached.
 func (s *Sink) Enabled() bool {
-	return s != nil && (s.Metrics != nil || s.Trace != nil)
+	return s != nil && (s.Metrics != nil || s.Trace != nil || s.Journal != nil)
+}
+
+// Ledger resolves the run journal (nil, a no-op, when disabled). Library
+// code only ever writes into it — records, manifest fields — never reads.
+func (s *Sink) Ledger() *Journal {
+	if s == nil {
+		return nil
+	}
+	return s.Journal
+}
+
+// WriteLedger renders the sink's journal, metrics snapshot and span
+// trace as a JSON-lines run ledger. Export boundary only (cli/report);
+// a sink without a journal writes a ledger with metric and span sections
+// but no manifest fields or window records.
+func (s *Sink) WriteLedger(w io.Writer) error {
+	j := s.Ledger()
+	if j == nil {
+		j = NewJournal(0)
+	}
+	var snap Snapshot
+	if s != nil && s.Metrics != nil {
+		snap = s.Metrics.Snapshot()
+	}
+	var spans []SpanEvent
+	if s != nil && s.Trace != nil {
+		spans = s.Trace.Events()
+	}
+	return j.WriteLedger(w, snap, spans)
 }
 
 // Counter resolves a counter handle (nil, a no-op, when disabled).
@@ -64,13 +120,15 @@ func (s *Sink) Gauge(name string) *Gauge {
 	return s.Metrics.Gauge(name)
 }
 
-// LatencyHistogram resolves a histogram handle over the default latency
-// buckets (nil, a no-op, when disabled). Observations are nanoseconds.
+// LatencyHistogram resolves a histogram handle over the HDR log-linear
+// latency buckets (nil, a no-op, when disabled). Observations are
+// nanoseconds; quantiles interpolated from the snapshot resolve well
+// below the 12.5% sub-bucket width (see hdr.go).
 func (s *Sink) LatencyHistogram(name string) *Histogram {
 	if s == nil || s.Metrics == nil {
 		return nil
 	}
-	return s.Metrics.Histogram(name, LatencyBuckets)
+	return s.Metrics.Histogram(name, HDRLatencyBuckets)
 }
 
 // CountHistogram resolves a histogram handle over the default count

@@ -190,18 +190,67 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
 		t.Fatalf("trace is not valid JSON: %v", err)
 	}
-	if len(got.TraceEvents) != 2 {
-		t.Fatalf("got %d events, want 2", len(got.TraceEvents))
-	}
+	// Two complete events plus metadata: one process_name, and a
+	// thread_name + thread_sort_index pair per span-name lane.
 	byName := map[string]int{}
+	var xEvents, procMeta, threadMeta int
+	laneFor := map[string]int{}
 	for i, ev := range got.TraceEvents {
-		if ev.Ph != "X" {
-			t.Fatalf("event %q: ph %q, want X", ev.Name, ev.Ph)
+		switch ev.Ph {
+		case "X":
+			xEvents++
+			if ev.Dur < 0 || ev.Ts < 0 {
+				t.Fatalf("event %q: negative timestamp/duration", ev.Name)
+			}
+			byName[ev.Name] = i
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				procMeta++
+			case "thread_name":
+				threadMeta++
+			}
+		default:
+			t.Fatalf("event %q: unexpected ph %q", ev.Name, ev.Ph)
 		}
-		if ev.Dur < 0 || ev.Ts < 0 {
-			t.Fatalf("event %q: negative timestamp/duration", ev.Name)
+	}
+	if xEvents != 2 {
+		t.Fatalf("got %d complete events, want 2", xEvents)
+	}
+	if procMeta != 1 || threadMeta != 2 {
+		t.Fatalf("metadata events: %d process_name (want 1), %d thread_name (want 2)", procMeta, threadMeta)
+	}
+	// Lane naming: each X event's tid must carry a thread_name metadata
+	// event naming its span, and distinct names get distinct lanes.
+	var raw struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Tid  int             `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range raw.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			var a struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(ev.Args, &a); err != nil {
+				t.Fatal(err)
+			}
+			laneFor[a.Name] = ev.Tid
 		}
-		byName[ev.Name] = i
+	}
+	for _, ev := range raw.TraceEvents {
+		if ev.Ph == "X" && laneFor[ev.Name] != ev.Tid {
+			t.Fatalf("span %q on tid %d, but its thread_name lane is %d", ev.Name, ev.Tid, laneFor[ev.Name])
+		}
+	}
+	if laneFor["run"] == laneFor["stage"] {
+		t.Fatal("distinct span names share a lane")
 	}
 	runEv := got.TraceEvents[byName["run"]]
 	stageEv := got.TraceEvents[byName["stage"]]

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPercentileNSEdges pins the estimator's edge cases: empty input,
+// a single sample, all-equal ties, and the p=0 / p=1 extremes.
+func TestPercentileNSEdges(t *testing.T) {
+	if got := percentileNS(nil, 0.5); got != 0 {
+		t.Fatalf("empty: got %d, want 0", got)
+	}
+	one := []int64{42}
+	for _, p := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := percentileNS(one, p); got != 42 {
+			t.Fatalf("single sample p=%g: got %d, want 42", p, got)
+		}
+	}
+	ties := []int64{7, 7, 7, 7, 7}
+	for _, p := range []float64{0, 0.5, 0.95, 1} {
+		if got := percentileNS(ties, p); got != 7 {
+			t.Fatalf("ties p=%g: got %d, want 7", p, got)
+		}
+	}
+	sorted := []int64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{-0.5, 10}, // clamps low
+		{0, 10},
+		{0.5, 25}, // interpolates between order statistics
+		{1, 40},
+		{1.5, 40}, // clamps high
+	}
+	for _, c := range cases {
+		if got := percentileNS(sorted, c.p); got != c.want {
+			t.Fatalf("p=%g: got %d, want %d", c.p, got, c.want)
+		}
+	}
+	// Interior interpolation: p=0.9 over n=4 → x=2.7 → 30 + 0.7*10.
+	if got := percentileNS(sorted, 0.9); got != 37 {
+		t.Fatalf("p=0.9: got %d, want 37", got)
+	}
+}
+
+// TestHDRQuantile: quantiles interpolated from the HDR grid must land
+// within one sub-bucket (12.5%) of the exact value — the resolution the
+// regression gate depends on.
+func TestHDRQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", HDRLatencyBuckets)
+	// 1000 samples spread 2µs..1ms (log-uniform-ish via squares), all
+	// above the first HDR bound so interpolation has a finite lower edge.
+	var samples []float64
+	for i := 1; i <= 1000; i++ {
+		v := 2000.0 + float64(i*i)
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	hv := reg.Snapshot().Histograms[0]
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		exact := samples[int(p*float64(len(samples)))-1]
+		got := hv.Quantile(p)
+		if rel := math.Abs(got-exact) / exact; rel > 0.125 {
+			t.Fatalf("p=%g: got %g, exact %g (rel err %.3f > 0.125)", p, got, exact, rel)
+		}
+	}
+	// Edges and degenerates.
+	if (HistogramValue{}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	if got := hv.Quantile(-1); got <= 0 {
+		t.Fatalf("clamped p<0 quantile: %g", got)
+	}
+	if got := hv.Quantile(2); got < hv.Quantile(0.99) {
+		t.Fatal("clamped p>1 below p99")
+	}
+}
+
+// TestHDRGridShape pins the grid: ascending, log-linear, 193 bounds from
+// 2^10 to 2^34 ns.
+func TestHDRGridShape(t *testing.T) {
+	b := HDRLatencyBuckets
+	if len(b) != (hdrMaxPow2-hdrMinPow2)*hdrSubBuckets+1 {
+		t.Fatalf("got %d bounds", len(b))
+	}
+	if b[0] != 1024 || b[len(b)-1] != math.Ldexp(1, hdrMaxPow2) {
+		t.Fatalf("grid endpoints: %g .. %g", b[0], b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %g <= %g", i, b[i], b[i-1])
+		}
+		if ratio := b[i] / b[i-1]; ratio > 1.0+1.0/hdrSubBuckets+1e-9 {
+			t.Fatalf("gap at %d too wide: ratio %g", i, ratio)
+		}
+	}
+}
+
+// TestSnapshotDuringObserve runs Snapshot concurrently with a storm of
+// Observe calls; under -race this proves the snapshot path takes a
+// consistent, race-free copy, and the final snapshot must see every
+// observation.
+func TestSnapshotDuringObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", HDRLatencyBuckets)
+	const writers = 4
+	const perWriter = 5000
+	var stop atomic.Bool
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for !stop.Load() {
+			s := reg.Snapshot()
+			if len(s.Histograms) > 0 {
+				var sum uint64
+				for _, c := range s.Histograms[0].Counts {
+					sum += c
+				}
+				// Bucket sum can trail the count (they are separate atomics)
+				// but never exceed the true total.
+				if sum > writers*perWriter {
+					t.Error("snapshot bucket sum exceeds observations")
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(1000 + i + w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	snaps.Wait()
+	final := reg.Snapshot().Histograms[0]
+	if final.Count != writers*perWriter {
+		t.Fatalf("final count %d, want %d", final.Count, writers*perWriter)
+	}
+	var sum uint64
+	for _, c := range final.Counts {
+		sum += c
+	}
+	if sum != writers*perWriter {
+		t.Fatalf("final bucket sum %d, want %d", sum, writers*perWriter)
+	}
+}

@@ -31,8 +31,17 @@ func promName(name string) string {
 }
 
 // WritePrometheus renders the snapshot in Prometheus text exposition
-// format.
+// format. The export opens with a constant postopc_build_info gauge
+// (the usual build-identity idiom: value 1, identity in the labels) so
+// every scrape names the toolchain, GOAMD64 level and detected CPU
+// features that produced the numbers.
 func WritePrometheus(w io.Writer, s Snapshot) error {
+	bi := GetBuildInfo()
+	if _, err := fmt.Fprintf(w,
+		"# TYPE postopc_build_info gauge\npostopc_build_info{go=%q,goos=%q,goarch=%q,goamd64=%q,cpu=%q,module=%q} 1\n",
+		bi.GoVersion, bi.GOOS, bi.GOARCH, bi.VekLevel, bi.CPUFeatures, bi.Module); err != nil {
+		return err
+	}
 	for _, c := range s.Counters {
 		n := promName(c.Name)
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value); err != nil {

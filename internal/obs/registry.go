@@ -62,10 +62,12 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// LatencyBuckets are the default histogram bounds for duration metrics, in
-// nanoseconds: roughly half-decade steps from 1µs to 10s. Latencies below
-// the first bound land in bucket 0; anything past the last bound lands in
-// the implicit +Inf bucket.
+// LatencyBuckets are the coarse half-decade histogram bounds for duration
+// metrics, in nanoseconds: steps from 1µs to 10s. Latencies below the
+// first bound land in bucket 0; anything past the last bound lands in the
+// implicit +Inf bucket. Sink.LatencyHistogram now resolves the HDR
+// log-linear grid (HDRLatencyBuckets, hdr.go) instead — this grid remains
+// for callers that want few-bucket exports over quantile resolution.
 var LatencyBuckets = []float64{
 	1e3, 3.2e3, 1e4, 3.2e4, 1e5, 3.2e5, 1e6, 3.2e6, 1e7, 3.2e7, 1e8, 3.2e8, 1e9, 3.2e9, 1e10,
 }
@@ -80,8 +82,9 @@ var CountBuckets = []float64{
 
 // Histogram is a fixed-bucket distribution. Bounds are upper bucket edges
 // (ascending); counts[len(bounds)] is the +Inf bucket. The nil handle is a
-// no-op; a live observation is a branch-free walk over at most len(bounds)
-// comparisons plus two atomic adds — no locks, no allocation.
+// no-op; a live observation is a binary search over the bounds plus two
+// atomic adds — no locks, no allocation, and log2(len) comparisons so the
+// 193-bound HDR latency grid costs the same as the old 15-bound walk.
 type Histogram struct {
 	bounds  []float64
 	counts  []atomic.Uint64 // len(bounds)+1, last is +Inf
@@ -102,11 +105,20 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
+	// Hand-rolled first-bound-≥-v binary search (sort.Search would pull a
+	// closure into this allocfree path). A sample equal to a bound lands in
+	// that bound's bucket; NaN compares false everywhere and lands in
+	// bucket 0, same as the linear walk it replaced.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	h.counts[i].Add(1)
+	h.counts[lo].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -136,6 +148,21 @@ func (h *Histogram) ObserveSince(start int64) {
 		return
 	}
 	h.Observe(float64(Monotonic() - start))
+}
+
+// TimedSince records the elapsed nanoseconds like ObserveSince and also
+// returns them, so a caller that feeds both a histogram and a per-window
+// ledger record reads the clock once. The nil handle records nothing and
+// returns 0 — the disabled path never touches the clock.
+//
+//postopc:allocfree
+func (h *Histogram) TimedSince(start int64) int64 {
+	if h == nil {
+		return 0
+	}
+	d := Monotonic() - start
+	h.Observe(float64(d))
+	return d
 }
 
 // Registry holds the named metrics of one run. Metrics are created on

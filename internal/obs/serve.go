@@ -1,16 +1,23 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net/http"
 	"sync"
+	"time"
 )
 
-// HTTP exposure: Handler serves a registry over two conventional
-// endpoints — Prometheus text format at /metrics and expvar-style JSON at
+// HTTP exposure: Handler serves a registry over three conventional
+// endpoints — Prometheus text format at /metrics, expvar-style JSON at
 // /debug/vars (the stock expvar handler, with the registry published as
-// the "postopc" variable). CLIs mount it with -metrics :port; the pprof
-// endpoints come from net/http/pprof on the CLI side.
+// the "postopc" variable and the build identity as "postopc_build_info"),
+// and a trivial liveness probe at /healthz. NewServer wraps the handler
+// in an http.Server hardened for long-lived embedding (header-read
+// timeout against slowloris peers, graceful Shutdown) — the listener the
+// future postopc-served daemon will mount. CLIs mount it with
+// -metrics :port; the pprof endpoints come from net/http/pprof on the
+// CLI side.
 
 // publishOnce guards expvar.Publish, which panics on duplicate names; the
 // registry behind the variable is swappable so tests and successive
@@ -21,7 +28,8 @@ var (
 	publishReg  *Registry
 )
 
-// publishExpvar exposes reg's snapshot as the expvar variable "postopc".
+// publishExpvar exposes reg's snapshot as the expvar variable "postopc"
+// and the binary's build identity as "postopc_build_info".
 func publishExpvar(reg *Registry) {
 	publishMu.Lock()
 	publishReg = reg
@@ -36,12 +44,15 @@ func publishExpvar(reg *Registry) {
 			}
 			return r.Snapshot()
 		}))
+		expvar.Publish("postopc_build_info", expvar.Func(func() interface{} {
+			return GetBuildInfo()
+		}))
 	})
 }
 
 // Handler returns an http.Handler serving reg at /metrics (Prometheus
-// text format) and /debug/vars (expvar JSON including the registry
-// snapshot under "postopc").
+// text format), /debug/vars (expvar JSON including the registry snapshot
+// under "postopc") and /healthz (liveness).
 func Handler(reg *Registry) http.Handler {
 	publishExpvar(reg)
 	mux := http.NewServeMux()
@@ -51,6 +62,35 @@ func Handler(reg *Registry) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
+}
+
+// NewServer returns an http.Server serving Handler(reg) on addr, with a
+// header-read timeout so a stalled peer cannot pin a connection
+// goroutine forever. Callers own the lifecycle: ListenAndServe to start,
+// Shutdown (see ShutdownServer) to stop draining in-flight scrapes.
+func NewServer(addr string, reg *Registry) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           Handler(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+}
+
+// ShutdownServer gracefully stops a server from NewServer, waiting up to
+// timeout for in-flight requests before closing hard. Nil-safe.
+func ShutdownServer(srv *http.Server, timeout time.Duration) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+	}
 }

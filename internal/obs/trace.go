@@ -33,6 +33,12 @@ type SpanEvent struct {
 type Tracer struct {
 	next atomic.Uint64
 
+	// flight, when set (before any concurrent use — Sink.WithFlightRecorder
+	// wires it at setup), additionally receives every completed span, so
+	// the crash-dump ring stays current without a second instrumentation
+	// point.
+	flight *Flight
+
 	mu     sync.Mutex
 	events []SpanEvent
 }
@@ -79,6 +85,7 @@ func (sp Span) End() {
 	sp.tracer.mu.Lock()
 	sp.tracer.events = append(sp.tracer.events, ev)
 	sp.tracer.mu.Unlock()
+	sp.tracer.flight.Record(ev)
 }
 
 // Events returns a copy of the completed spans, sorted by start time (ID
@@ -100,20 +107,30 @@ func (t *Tracer) Events() []SpanEvent {
 }
 
 // chromeTraceEvent is one entry of the Chrome trace-event format ("X" =
-// complete event). Timestamps and durations are microseconds.
+// complete event, "M" = metadata). Timestamps and durations are
+// microseconds; metadata events omit them. Args is either
+// chromeTraceArgs (span identity) or chromeMetaArgs (lane naming).
 type chromeTraceEvent struct {
-	Name string          `json:"name"`
-	Ph   string          `json:"ph"`
-	Ts   float64         `json:"ts"`
-	Dur  float64         `json:"dur"`
-	Pid  int             `json:"pid"`
-	Tid  int             `json:"tid"`
-	Args chromeTraceArgs `json:"args"`
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`
+	Dur  float64     `json:"dur"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Args interface{} `json:"args"`
 }
 
 type chromeTraceArgs struct {
 	ID     uint64 `json:"id"`
 	Parent uint64 `json:"parent"`
+}
+
+type chromeMetaArgs struct {
+	Name string `json:"name"`
+}
+
+type chromeSortArgs struct {
+	SortIndex int `json:"sort_index"`
 }
 
 // chromeTrace is the object-form trace file chrome://tracing (and Perfetto)
@@ -125,10 +142,41 @@ type chromeTrace struct {
 
 // WriteChromeTrace emits the recorded spans as Chrome trace-event JSON,
 // loadable in chrome://tracing or Perfetto. Every span is a complete ("X")
-// event; the explicit span/parent IDs ride along in args.
+// event placed on a per-span-name lane; the explicit span/parent IDs ride
+// along in args. The file opens with "M" metadata events naming the
+// process and each lane (thread_name = span name, sorted), so the viewer
+// shows labeled stage lanes instead of bare tids.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	events := t.Events()
-	out := chromeTrace{TraceEvents: make([]chromeTraceEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+
+	// Deterministic lane assignment: sorted span-name order → tid 1..n.
+	nameSet := map[string]bool{}
+	for _, ev := range events {
+		nameSet[ev.Name] = true
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	lane := make(map[string]int, len(names))
+	for i, n := range names {
+		lane[n] = i + 1
+	}
+
+	out := chromeTrace{
+		TraceEvents:     make([]chromeTraceEvent, 0, len(events)+2*len(names)+1),
+		DisplayTimeUnit: "ms",
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeTraceEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Args: chromeMetaArgs{Name: "postopc"},
+	})
+	for _, n := range names {
+		out.TraceEvents = append(out.TraceEvents,
+			chromeTraceEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: lane[n], Args: chromeMetaArgs{Name: n}},
+			chromeTraceEvent{Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: lane[n], Args: chromeSortArgs{SortIndex: lane[n]}},
+		)
+	}
 	for _, ev := range events {
 		out.TraceEvents = append(out.TraceEvents, chromeTraceEvent{
 			Name: ev.Name,
@@ -136,7 +184,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Ts:   float64(ev.Start) / 1e3,
 			Dur:  float64(ev.Dur) / 1e3,
 			Pid:  1,
-			Tid:  1,
+			Tid:  lane[ev.Name],
 			Args: chromeTraceArgs{ID: uint64(ev.ID), Parent: uint64(ev.Parent)},
 		})
 	}

@@ -75,6 +75,15 @@ func newPoolMetrics(sink *obs.Sink) poolMetrics {
 // is always the one from the lowest failing index, independent of worker
 // count.
 func ForEach(n int, fn func(i int) error, opts ...Option) error {
+	return ForEachWorker(n, func(_, i int) error { return fn(i) }, opts...)
+}
+
+// ForEachWorker is ForEach with the worker slot id (0..workers-1) passed
+// to fn alongside the item index, so callers can attribute work — ledger
+// window records carry the worker that ran them — without touching any
+// shared state. The slot id is scheduling metadata only: results must
+// not depend on it, and the determinism contract is unchanged.
+func ForEachWorker(n int, fn func(worker, i int) error, opts ...Option) error {
 	if n <= 0 {
 		return nil
 	}
@@ -94,7 +103,7 @@ func ForEach(n int, fn func(i int) error, opts ...Option) error {
 	if workers == 1 {
 		t0 := met.busy.StartTimer()
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				met.busy.ObserveSince(t0)
 				met.items.Add(uint64(i + 1))
 				return err
@@ -110,7 +119,7 @@ func ForEach(n int, fn func(i int) error, opts ...Option) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			wall := met.busy.StartTimer()
 			var busy int64
@@ -134,7 +143,7 @@ func ForEach(n int, fn func(i int) error, opts ...Option) error {
 					return
 				}
 				t0 := met.busy.StartTimer()
-				err := fn(i)
+				err := fn(w, i)
 				if met.busy != nil {
 					busy += obs.Monotonic() - t0
 				}
@@ -144,7 +153,7 @@ func ForEach(n int, fn func(i int) error, opts ...Option) error {
 					failed.Store(true)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {

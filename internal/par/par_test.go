@@ -132,3 +132,39 @@ func TestForEachSkipsAfterFailure(t *testing.T) {
 		t.Fatal("no index was skipped after the failure")
 	}
 }
+
+func TestForEachWorkerIDs(t *testing.T) {
+	// Worker slot ids are in [0, workers) and every index runs exactly
+	// once regardless of which slot claimed it.
+	const n, workers = 64, 4
+	seen := make([]int32, n)
+	var bad int32
+	err := ForEachWorker(n, func(w, i int) error {
+		if w < 0 || w >= workers {
+			atomic.AddInt32(&bad, 1)
+		}
+		atomic.AddInt32(&seen[i], 1)
+		return nil
+	}, Workers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatalf("%d invocations saw an out-of-range worker id", bad)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+	// Serial path pins worker 0.
+	err = ForEachWorker(8, func(w, _ int) error {
+		if w != 0 {
+			return fmt.Errorf("serial worker id %d", w)
+		}
+		return nil
+	}, Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+}

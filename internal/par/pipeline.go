@@ -22,6 +22,11 @@ type Stage struct {
 	// must not leave cross-batch obligations dangling on error (see the
 	// Pipeline determinism contract).
 	Fn func(batch int) error
+	// FnW, when set, is used instead of Fn and additionally receives the
+	// stage worker slot (0..workers-1) that runs the batch — scheduling
+	// metadata for attribution (ledger records), never an input results
+	// may depend on.
+	FnW func(batch, worker int) error
 }
 
 // stageMetrics are the telemetry handles of one pipeline stage: worker
@@ -113,7 +118,11 @@ func Pipeline(batches int, stages []Stage, opts ...Option) error {
 			out = make(chan int, workers)
 		}
 		met := newStageMetrics(o.sink, st.Name)
-		fn := st.Fn
+		fn := st.FnW
+		if fn == nil {
+			inner := st.Fn
+			fn = func(b, _ int) error { return inner(b) }
+		}
 		in := cur
 
 		var stageWG sync.WaitGroup
@@ -124,7 +133,7 @@ func Pipeline(batches int, stages []Stage, opts ...Option) error {
 			wallStart = obs.Monotonic()
 		}
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(w int) {
 				defer stageWG.Done()
 				var busy int64
 				t0 := int64(0)
@@ -139,7 +148,7 @@ func Pipeline(batches int, stages []Stage, opts ...Option) error {
 						if met.busy != nil {
 							tb = obs.Monotonic()
 						}
-						if err := fn(b); err != nil {
+						if err := fn(b, w); err != nil {
 							errs[b] = err
 							failed.Store(true)
 						}
@@ -156,7 +165,7 @@ func Pipeline(batches int, stages []Stage, opts ...Option) error {
 					met.wait.Observe(float64(obs.Monotonic() - t0 - busy))
 					busyTotal.Add(busy)
 				}
-			}()
+			}(w)
 		}
 		closers.Add(1)
 		go func() {

@@ -165,3 +165,31 @@ func TestPipelineWorkersOptionCap(t *testing.T) {
 		t.Fatalf("ran %d stage executions, want 20", count.Load())
 	}
 }
+
+func TestPipelineFnW(t *testing.T) {
+	// FnW takes precedence over Fn and sees in-range worker slots; batch
+	// coverage is exactly once per stage.
+	const batches, workers = 16, 3
+	var ran, bad, fnCalled int32
+	stages := []Stage{{
+		Name:    "w",
+		Workers: workers,
+		Fn:      func(int) error { atomic.AddInt32(&fnCalled, 1); return nil },
+		FnW: func(b, w int) error {
+			if w < 0 || w >= workers {
+				atomic.AddInt32(&bad, 1)
+			}
+			atomic.AddInt32(&ran, 1)
+			return nil
+		},
+	}}
+	if err := Pipeline(batches, stages); err != nil {
+		t.Fatal(err)
+	}
+	if fnCalled != 0 {
+		t.Fatal("Fn ran despite FnW being set")
+	}
+	if ran != batches || bad != 0 {
+		t.Fatalf("ran=%d bad=%d", ran, bad)
+	}
+}
